@@ -1,0 +1,37 @@
+//! End-to-end throughput: one full simulated day (scaled down) per
+//! policy — the macro number behind every revenue figure. Useful for
+//! spotting regressions in the simulator or candidate search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrvd_bench::small_day;
+use mrvd_core::{DemandOracle, DispatchConfig, Near, QueueingPolicy};
+use mrvd_sim::{SimConfig, Simulator};
+use mrvd_spatial::ConstantSpeedModel;
+
+fn bench_day(c: &mut Criterion) {
+    let (trips, drivers, grid, series) = small_day(10_000.0, 120, 5);
+    let travel = ConstantSpeedModel::default();
+    let mut g = c.benchmark_group("full_day_10k_orders");
+    g.sample_size(10);
+    g.bench_function("IRG-R", |b| {
+        b.iter(|| {
+            let mut policy = QueueingPolicy::irg(
+                DispatchConfig::default(),
+                DemandOracle::real(series.clone(), 0),
+            );
+            let sim = Simulator::new(SimConfig::default(), &travel, &grid);
+            sim.run(&trips, &drivers, &mut policy)
+        })
+    });
+    g.bench_function("NEAR", |b| {
+        b.iter(|| {
+            let mut policy = Near::default();
+            let sim = Simulator::new(SimConfig::default(), &travel, &grid);
+            sim.run(&trips, &drivers, &mut policy)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_day);
+criterion_main!(benches);

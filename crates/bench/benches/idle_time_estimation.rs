@@ -1,0 +1,59 @@
+//! Microbenchmarks of the queueing analysis (§4): steady-state
+//! computation and the closed-form expected idle time on all three
+//! branches. This is the arithmetic executed 256× per batch inside
+//! Algorithm 2, so its cost bounds the framework's overhead (Table 3's
+//! machinery).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mrvd_queueing::{expected_idle_time, QueueParams, Reneging, SteadyState};
+
+fn bench_expected_idle_time(c: &mut Criterion) {
+    let mut g = c.benchmark_group("expected_idle_time");
+    let cases = [
+        ("riders_exceed", QueueParams::new(0.05, 0.01, 20, Reneging::Exp { beta: 0.05 })),
+        ("drivers_exceed", QueueParams::new(0.01, 0.05, 20, Reneging::Exp { beta: 0.05 })),
+        ("balanced", QueueParams::new(0.02, 0.02, 20, Reneging::Exp { beta: 0.05 })),
+        ("large_k", QueueParams::new(0.01, 0.05, 2_000, Reneging::Exp { beta: 0.05 })),
+    ];
+    for (name, params) in cases {
+        g.bench_function(name, |b| {
+            b.iter(|| expected_idle_time(black_box(&params)).expect("converges"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    let params = QueueParams::new(0.03, 0.02, 50, Reneging::Exp { beta: 0.05 });
+    c.bench_function("steady_state_compute", |b| {
+        b.iter(|| SteadyState::compute(black_box(&params)).expect("converges"))
+    });
+}
+
+fn bench_region_table(c: &mut Criterion) {
+    // The full per-batch ET table: 256 regions with mixed rates.
+    let params: Vec<QueueParams> = (0..256)
+        .map(|k| {
+            let lambda = 0.001 + (k % 17) as f64 * 0.003;
+            let mu = 0.001 + (k % 11) as f64 * 0.004;
+            QueueParams::new(lambda, mu, 5 + (k % 40) as u64, Reneging::Exp { beta: 0.05 })
+        })
+        .collect();
+    c.bench_function("et_table_256_regions", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in &params {
+                acc += expected_idle_time(black_box(p)).expect("converges");
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_expected_idle_time,
+    bench_steady_state,
+    bench_region_table
+);
+criterion_main!(benches);

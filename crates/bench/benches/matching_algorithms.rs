@@ -1,0 +1,48 @@
+//! Bipartite matching substrate benchmarks: greedy vs Kuhn–Munkres vs
+//! Hopcroft–Karp over growing instance sizes (POLAR's blueprint solves a
+//! 256-region instance offline; the per-batch matchers are greedy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrvd_matching::{greedy_max_weight, hopcroft_karp, max_weight_matching};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn make_edges(n: usize, density: f64, seed: u64) -> Vec<(usize, usize, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for l in 0..n {
+        for r in 0..n {
+            if rng.gen_bool(density) {
+                edges.push((l, r, rng.gen_range(0.1..100.0)));
+            }
+        }
+    }
+    edges
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching");
+    g.sample_size(20);
+    for &n in &[50usize, 128, 256] {
+        let edges = make_edges(n, 0.2, 11);
+        g.bench_with_input(BenchmarkId::new("greedy", n), &edges, |b, e| {
+            b.iter(|| greedy_max_weight(n, n, e))
+        });
+        g.bench_with_input(BenchmarkId::new("kuhn_munkres", n), &edges, |b, e| {
+            b.iter(|| max_weight_matching(n, n, e))
+        });
+        let adj: Vec<Vec<usize>> = {
+            let mut adj = vec![Vec::new(); n];
+            for &(l, r, _) in &edges {
+                adj[l].push(r);
+            }
+            adj
+        };
+        g.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &adj, |b, a| {
+            b.iter(|| hopcroft_karp(n, n, a))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

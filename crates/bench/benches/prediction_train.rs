@@ -1,0 +1,79 @@
+//! Prediction substrate benchmarks: training cost of each model on a
+//! 3-week history and per-slot inference latency (the online dispatcher
+//! calls `predict` up to once per 30-minute slot).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrvd_demand::{NycLikeConfig, NycLikeGenerator, SLOTS_PER_DAY};
+use mrvd_prediction::{
+    DeepStConfig, DeepStNet, Gbrt, GbrtConfig, HistoricalAverage, LinearRegression, Predictor,
+};
+
+fn bench_training(c: &mut Criterion) {
+    let gen = NycLikeGenerator::new(NycLikeConfig {
+        orders_per_day: 50_000.0,
+        seed: 3,
+        ..NycLikeConfig::default()
+    });
+    let series = gen.generate_counts(22);
+    let train_days = 21;
+    let mut g = c.benchmark_group("fit");
+    g.sample_size(10);
+    g.bench_function("linreg", |b| {
+        b.iter(|| {
+            let mut m = LinearRegression::new();
+            m.fit(&series, train_days);
+            m
+        })
+    });
+    g.bench_function("gbrt_20trees", |b| {
+        b.iter(|| {
+            let mut m = Gbrt::new(GbrtConfig {
+                n_trees: 20,
+                ..GbrtConfig::default()
+            });
+            m.fit(&series, train_days);
+            m
+        })
+    });
+    g.bench_function("deepst_1epoch", |b| {
+        b.iter(|| {
+            let mut m = DeepStNet::new(
+                16,
+                16,
+                SLOTS_PER_DAY,
+                DeepStConfig {
+                    epochs: 1,
+                    min_history_days: 7,
+                    ..DeepStConfig::default()
+                },
+            );
+            m.fit(&series, train_days);
+            m
+        })
+    });
+    g.finish();
+
+    // Inference latency.
+    let mut lr = LinearRegression::new();
+    lr.fit(&series, train_days);
+    let mut deepst = DeepStNet::new(
+        16,
+        16,
+        SLOTS_PER_DAY,
+        DeepStConfig {
+            epochs: 1,
+            min_history_days: 7,
+            ..DeepStConfig::default()
+        },
+    );
+    deepst.fit(&series, train_days);
+    let ha = HistoricalAverage;
+    let mut g = c.benchmark_group("predict_slot");
+    g.bench_function("ha", |b| b.iter(|| ha.predict(&series, 21, 17)));
+    g.bench_function("linreg", |b| b.iter(|| lr.predict(&series, 21, 17)));
+    g.bench_function("deepst", |b| b.iter(|| deepst.predict(&series, 21, 17)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,218 @@
+//! Valid rider–driver pair generation (Definition 3).
+//!
+//! For every waiting rider, finds available drivers that can reach the
+//! pickup before the deadline. When the travel model exposes a speed
+//! bound, the search expands over grid rings only as far as the deadline
+//! allows (the radius-bounded search described in DESIGN.md); otherwise
+//! it scans all drivers (small instances, road networks).
+
+use mrvd_sim::BatchContext;
+use mrvd_spatial::RegionIndex;
+
+/// Valid pairs per rider: `pairs[i]` lists `(driver_index, pickup_travel_ms)`
+/// for rider `ctx.riders[i]`, sorted by pickup travel time and truncated
+/// to the configured candidate budget. Indices refer to positions in
+/// `ctx.riders` / `ctx.drivers`.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    /// Candidate drivers per rider (see type-level docs).
+    pub pairs: Vec<Vec<(usize, u64)>>,
+}
+
+impl CandidateSet {
+    /// Total number of valid pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.iter().map(Vec::len).sum()
+    }
+
+    /// Inverts the mapping: for each driver, the riders it is a candidate
+    /// for (with pickup travel time).
+    pub fn by_driver(&self, num_drivers: usize) -> Vec<Vec<(usize, u64)>> {
+        let mut out = vec![Vec::new(); num_drivers];
+        for (rider_idx, cands) in self.pairs.iter().enumerate() {
+            for &(driver_idx, t) in cands {
+                out[driver_idx].push((rider_idx, t));
+            }
+        }
+        out
+    }
+}
+
+/// Generates the valid candidate set for one batch.
+pub fn valid_candidates(ctx: &BatchContext<'_>, max_candidates: usize) -> CandidateSet {
+    let mut pairs = Vec::with_capacity(ctx.riders.len());
+    // Spatial index of available drivers (by driver *index*).
+    let speed_bound = ctx.travel.speed_bound_mps();
+    let index = speed_bound.map(|_| {
+        let mut ix = RegionIndex::new(ctx.grid.clone());
+        for (i, d) in ctx.drivers.iter().enumerate() {
+            ix.insert(i, d.pos);
+        }
+        ix
+    });
+    for rider in ctx.riders {
+        let budget_ms = rider.deadline_ms.saturating_sub(ctx.now_ms);
+        let mut cands: Vec<(usize, u64)> = match (&index, speed_bound) {
+            (Some(ix), Some(v)) => {
+                let radius_m = v * budget_ms as f64 / 1000.0;
+                ix.within_radius(rider.pickup, radius_m, usize::MAX)
+                    .into_iter()
+                    .filter_map(|(i, pos)| {
+                        let t = ctx.travel.travel_time_ms(pos, rider.pickup);
+                        (ctx.now_ms + t <= rider.deadline_ms).then_some((i, t))
+                    })
+                    .collect()
+            }
+            _ => ctx
+                .drivers
+                .iter()
+                .enumerate()
+                .filter_map(|(i, d)| {
+                    let t = ctx.travel.travel_time_ms(d.pos, rider.pickup);
+                    (ctx.now_ms + t <= rider.deadline_ms).then_some((i, t))
+                })
+                .collect(),
+        };
+        cands.sort_by_key(|&(i, t)| (t, i));
+        cands.truncate(max_candidates);
+        pairs.push(cands);
+    }
+    CandidateSet { pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrvd_sim::{AvailableDriver, DriverId, RiderId, WaitingRider};
+    use mrvd_spatial::{ConstantSpeedModel, Grid, Point, TravelModel};
+
+    struct NoBoundModel(ConstantSpeedModel);
+
+    impl TravelModel for NoBoundModel {
+        fn travel_time_ms(&self, a: Point, b: Point) -> u64 {
+            self.0.travel_time_ms(a, b)
+        }
+        // speed_bound_mps stays None → forces the scan path.
+    }
+
+    fn rider(p: Point, deadline_ms: u64) -> WaitingRider {
+        WaitingRider {
+            id: RiderId(0),
+            pickup: p,
+            dropoff: Point::new(p.lon + 0.01, p.lat),
+            request_ms: 0,
+            deadline_ms,
+        }
+    }
+
+    fn drivers_line(n: usize) -> Vec<AvailableDriver> {
+        // Drivers spaced ~170 m apart eastward from the rider.
+        (0..n)
+            .map(|i| AvailableDriver {
+                id: DriverId(i as u32),
+                pos: Point::new(-73.98 + 0.002 * i as f64, 40.75),
+                available_since_ms: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_search_matches_full_scan() {
+        let grid = Grid::nyc_16x16();
+        let fast = ConstantSpeedModel::new(8.0);
+        let slow = NoBoundModel(ConstantSpeedModel::new(8.0));
+        let riders = [rider(Point::new(-73.98, 40.75), 240_000)];
+        let drivers = drivers_line(40);
+        let ctx_fast = BatchContext {
+            now_ms: 0,
+            riders: &riders,
+            drivers: &drivers,
+            busy: &[],
+            travel: &fast,
+            grid: &grid,
+        };
+        let ctx_slow = BatchContext {
+            now_ms: 0,
+            riders: &riders,
+            drivers: &drivers,
+            busy: &[],
+            travel: &slow,
+            grid: &grid,
+        };
+        let a = valid_candidates(&ctx_fast, usize::MAX);
+        let b = valid_candidates(&ctx_slow, usize::MAX);
+        assert_eq!(a.pairs, b.pairs);
+        assert!(!a.pairs[0].is_empty());
+    }
+
+    #[test]
+    fn deadline_excludes_far_drivers() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        // 30 s budget at 8 m/s = 240 m: only the first two drivers
+        // (0 m, ~169 m) qualify.
+        let riders = [rider(Point::new(-73.98, 40.75), 30_000)];
+        let drivers = drivers_line(10);
+        let ctx = BatchContext {
+            now_ms: 0,
+            riders: &riders,
+            drivers: &drivers,
+            busy: &[],
+            travel: &travel,
+            grid: &grid,
+        };
+        let c = valid_candidates(&ctx, usize::MAX);
+        assert_eq!(c.pairs[0].len(), 2, "{:?}", c.pairs[0]);
+        // Sorted nearest-first.
+        assert!(c.pairs[0][0].1 <= c.pairs[0][1].1);
+    }
+
+    #[test]
+    fn candidate_budget_truncates() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let riders = [rider(Point::new(-73.98, 40.75), 600_000)];
+        let drivers = drivers_line(30);
+        let ctx = BatchContext {
+            now_ms: 0,
+            riders: &riders,
+            drivers: &drivers,
+            busy: &[],
+            travel: &travel,
+            grid: &grid,
+        };
+        let c = valid_candidates(&ctx, 5);
+        assert_eq!(c.pairs[0].len(), 5);
+        // The 5 kept are the 5 nearest.
+        for w in c.pairs[0].windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(c.pairs[0][0].1, 0);
+    }
+
+    #[test]
+    fn by_driver_inverts_the_mapping() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let riders = [
+            rider(Point::new(-73.98, 40.75), 240_000),
+            rider(Point::new(-73.979, 40.751), 240_000),
+        ];
+        let drivers = drivers_line(3);
+        let ctx = BatchContext {
+            now_ms: 0,
+            riders: &riders,
+            drivers: &drivers,
+            busy: &[],
+            travel: &travel,
+            grid: &grid,
+        };
+        let c = valid_candidates(&ctx, usize::MAX);
+        let inv = c.by_driver(3);
+        for (rider_idx, cands) in c.pairs.iter().enumerate() {
+            for &(driver_idx, t) in cands {
+                assert!(inv[driver_idx].contains(&(rider_idx, t)));
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The demand oracle: how many riders will appear in each region during
+//! the scheduling window `[t̄, t̄ + t_c]` (the `|R̂_k|` of Algorithm 1).
+//!
+//! Two variants, matching the paper's `-P` (predicted) and `-R` (real)
+//! policy flavours. The predicted variant consults a fitted
+//! [`Predictor`]; windows extending past the current slot are forecast
+//! *recursively* — each future slot is predicted from a scratch series in
+//! which the preceding future slots hold their own predictions, never the
+//! realized future (the honest-online property the prediction tests
+//! enforce).
+
+use std::cell::RefCell;
+
+use mrvd_demand::{DemandSeries, SLOT_MS};
+use mrvd_prediction::Predictor;
+
+/// Demand source for the dispatching policies.
+pub enum DemandOracle {
+    /// Ground-truth counts of the simulated day (IRG-R / LS-R / POLAR-R).
+    Real {
+        /// Full series: training days followed by the simulated day.
+        series: DemandSeries,
+        /// Index of the simulated day within `series`.
+        day: usize,
+    },
+    /// A fitted predictor consulted online (IRG-P / LS-P / POLAR-P).
+    Predicted {
+        /// The fitted model (fit must already have happened).
+        predictor: Box<dyn Predictor + Send>,
+        /// Full series: training days followed by the simulated day,
+        /// whose realized counts the predictor may read only up to the
+        /// current slot.
+        series: DemandSeries,
+        /// Index of the simulated day within `series`.
+        day: usize,
+        /// Per-slot forecast cache: `cache[s]` holds the chain forecast
+        /// for slot `s` computed when the current slot first reached the
+        /// window containing it.
+        cache: RefCell<ForecastCache>,
+    },
+}
+
+/// Cache of chained forecasts keyed by the base slot they were computed
+/// from (forecasts are recomputed whenever the base slot advances, i.e.
+/// every 30 simulated minutes).
+#[derive(Default)]
+pub struct ForecastCache {
+    base_slot: Option<usize>,
+    /// `frames[i]` = per-region forecast for slot `base_slot + i`.
+    frames: Vec<Vec<f64>>,
+    scratch: Option<DemandSeries>,
+}
+
+impl DemandOracle {
+    /// Builds the real-demand oracle.
+    pub fn real(series: DemandSeries, day: usize) -> Self {
+        assert!(day < series.days(), "DemandOracle: day out of range");
+        DemandOracle::Real { series, day }
+    }
+
+    /// Builds the predicted-demand oracle from an already-fitted model.
+    pub fn predicted(predictor: Box<dyn Predictor + Send>, series: DemandSeries, day: usize) -> Self {
+        assert!(day < series.days(), "DemandOracle: day out of range");
+        DemandOracle::Predicted {
+            predictor,
+            series,
+            day,
+            cache: RefCell::new(ForecastCache::default()),
+        }
+    }
+
+    /// A short label for policy names ("P" or "R").
+    pub fn label(&self) -> &'static str {
+        match self {
+            DemandOracle::Real { .. } => "R",
+            DemandOracle::Predicted { .. } => "P",
+        }
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        match self {
+            DemandOracle::Real { series, .. } | DemandOracle::Predicted { series, .. } => {
+                series.regions()
+            }
+        }
+    }
+
+    /// Expected new riders per region during `[now_ms, now_ms + tc_ms)` of
+    /// the simulated day — slot counts (real or forecast) scaled by each
+    /// slot's overlap with the window. Windows are truncated at the end of
+    /// the day.
+    pub fn upcoming_riders(&self, now_ms: u64, tc_ms: u64) -> Vec<f64> {
+        let regions = self.regions();
+        let mut out = vec![0.0; regions];
+        let spd = match self {
+            DemandOracle::Real { series, .. } | DemandOracle::Predicted { series, .. } => {
+                series.slots_per_day()
+            }
+        };
+        let end_ms = (now_ms + tc_ms).min(spd as u64 * SLOT_MS);
+        if now_ms >= end_ms {
+            return out;
+        }
+        let s0 = (now_ms / SLOT_MS) as usize;
+        let s_last = ((end_ms - 1) / SLOT_MS) as usize;
+        for s in s0..=s_last.min(spd - 1) {
+            let slot_start = s as u64 * SLOT_MS;
+            let slot_end = slot_start + SLOT_MS;
+            let overlap =
+                (end_ms.min(slot_end) - now_ms.max(slot_start)) as f64 / SLOT_MS as f64;
+            let frame = self.slot_counts(s0, s);
+            for r in 0..regions {
+                out[r] += overlap * frame[r];
+            }
+        }
+        out
+    }
+
+    /// Per-region counts for `slot`, given the current slot is
+    /// `base_slot`: realized values for the real oracle, chained forecasts
+    /// for the predicted one.
+    fn slot_counts(&self, base_slot: usize, slot: usize) -> Vec<f64> {
+        match self {
+            DemandOracle::Real { series, day } => series.frame(*day, slot).to_vec(),
+            DemandOracle::Predicted {
+                predictor,
+                series,
+                day,
+                cache,
+            } => {
+                let mut cache = cache.borrow_mut();
+                if cache.base_slot != Some(base_slot) {
+                    cache.base_slot = Some(base_slot);
+                    cache.frames.clear();
+                    // Restore the realized past into the scratch series.
+                    let scratch = cache
+                        .scratch
+                        .get_or_insert_with(|| series.clone());
+                    for s in 0..series.slots_per_day() {
+                        for r in 0..series.regions() {
+                            scratch.set(*day, s, r, series.get(*day, s, r));
+                        }
+                    }
+                }
+                let offset = slot - base_slot;
+                while cache.frames.len() <= offset {
+                    let s = base_slot + cache.frames.len();
+                    // Split borrow: take scratch out, predict, put back.
+                    let mut scratch = cache.scratch.take().expect("scratch initialized");
+                    let frame = predictor.predict(&scratch, *day, s);
+                    for (r, &v) in frame.iter().enumerate() {
+                        scratch.set(*day, s, r, v);
+                    }
+                    cache.scratch = Some(scratch);
+                    cache.frames.push(frame);
+                }
+                cache.frames[offset].clone()
+            }
+        }
+    }
+
+    /// Chain-forecasts the whole simulated day from its first slot —
+    /// the offline view POLAR builds its blueprint from. For the real
+    /// oracle this returns the realized counts (POLAR-R).
+    pub fn full_day_forecast(&self) -> Vec<Vec<f64>> {
+        let spd = match self {
+            DemandOracle::Real { series, .. } | DemandOracle::Predicted { series, .. } => {
+                series.slots_per_day()
+            }
+        };
+        (0..spd).map(|s| self.slot_counts(0, s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrvd_prediction::HistoricalAverage;
+
+    fn series() -> DemandSeries {
+        // 3 days × 4 slots × 2 regions; slot value = day*4 + slot.
+        DemandSeries::from_fn(3, 4, 2, |d, t, r| (d * 4 + t) as f64 + r as f64 * 0.1)
+    }
+
+    // SLOT_MS is 30 min; our test series pretends 4 slots/day, which the
+    // oracle supports (it uses series.slots_per_day()).
+
+    #[test]
+    fn real_oracle_scales_partial_slots() {
+        let o = DemandOracle::real(series(), 2);
+        // Window = exactly slot 1 of day 2 (value 9.0 / 9.1).
+        let w = o.upcoming_riders(SLOT_MS, SLOT_MS);
+        assert!((w[0] - 9.0).abs() < 1e-9);
+        assert!((w[1] - 9.1).abs() < 1e-9);
+        // Half a slot starting mid-slot 1: 0.5×9.0 + ... window ends mid
+        // slot 1 → only slot 1, overlap 0.5.
+        let w = o.upcoming_riders(SLOT_MS + SLOT_MS / 4, SLOT_MS / 2);
+        assert!((w[0] - 4.5).abs() < 1e-9, "{w:?}");
+    }
+
+    #[test]
+    fn real_oracle_spans_slots() {
+        let o = DemandOracle::real(series(), 2);
+        // Window covering last half of slot 0 and first half of slot 1:
+        // 0.5×8 + 0.5×9 = 8.5.
+        let w = o.upcoming_riders(SLOT_MS / 2, SLOT_MS);
+        assert!((w[0] - 8.5).abs() < 1e-9, "{w:?}");
+    }
+
+    #[test]
+    fn window_truncates_at_day_end() {
+        let o = DemandOracle::real(series(), 2);
+        // Start in the last slot, window runs past the day: only the
+        // remaining part of slot 3 counts (value 11).
+        let w = o.upcoming_riders(3 * SLOT_MS + SLOT_MS / 2, 10 * SLOT_MS);
+        assert!((w[0] - 5.5).abs() < 1e-9, "{w:?}");
+    }
+
+    #[test]
+    fn predicted_oracle_uses_the_model() {
+        let s = series();
+        let mut ha = HistoricalAverage;
+        use mrvd_prediction::Predictor as _;
+        ha.fit(&s, 2);
+        let o = DemandOracle::predicted(Box::new(ha), s.clone(), 2);
+        let w = o.upcoming_riders(SLOT_MS, SLOT_MS);
+        // HA averages the previous 15 global slots of the scratch series;
+        // prediction must be finite, non-negative and *not* equal to the
+        // realized value 9.0 (HA lags a ramp).
+        assert!(w[0].is_finite() && w[0] >= 0.0);
+        assert!(w[0] < 9.0);
+    }
+
+    #[test]
+    fn chained_forecast_does_not_read_realized_future() {
+        let s = series();
+        let mut ha = HistoricalAverage;
+        use mrvd_prediction::Predictor as _;
+        ha.fit(&s, 2);
+        // Two oracles whose series differ ONLY in future slots (≥ slot 1
+        // of day 2).
+        let mut s_mut = s.clone();
+        for t in 1..4 {
+            for r in 0..2 {
+                s_mut.set(2, t, r, 999.0);
+            }
+        }
+        let o1 = DemandOracle::predicted(Box::new(HistoricalAverage), s, 2);
+        let o2 = DemandOracle::predicted(Box::new(HistoricalAverage), s_mut, 2);
+        // Window starting at slot 1 covering slots 1–3 (forecast chain).
+        let w1 = o1.upcoming_riders(SLOT_MS, 3 * SLOT_MS);
+        let w2 = o2.upcoming_riders(SLOT_MS, 3 * SLOT_MS);
+        assert_eq!(w1, w2, "forecast leaked realized future values");
+    }
+
+    #[test]
+    fn full_day_forecast_has_all_slots() {
+        let o = DemandOracle::real(series(), 1);
+        let f = o.full_day_forecast();
+        assert_eq!(f.len(), 4);
+        assert!((f[2][0] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let o = DemandOracle::real(series(), 2);
+        let w = o.upcoming_riders(SLOT_MS, 0);
+        assert_eq!(w, vec![0.0, 0.0]);
+    }
+}

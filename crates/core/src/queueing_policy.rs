@@ -1,0 +1,538 @@
+//! The queueing-based dispatching algorithms of §5 and Appendix C.
+//!
+//! One implementation hosts all three published variants:
+//!
+//! * **IRG** — idle-ratio-oriented greedy (Algorithm 2): sort all valid
+//!   pairs by `IR = ET/(cost + ET)` (Eq. 17), repeatedly take the
+//!   smallest, and after each selection bump the rejoin rate μ of the
+//!   rider's destination region (line 11) so later selections see the
+//!   updated expected idle time.
+//! * **LS** — local search (Algorithm 3): start from the IRG result and
+//!   keep replacing a driver's rider with an unassigned valid rider of
+//!   strictly smaller idle ratio until a fixed point (convergence proven
+//!   in the paper's Lemma 5.1; a sweep cap guards against floating-point
+//!   livelock).
+//! * **SHORT** — the Appendix C variant for maximizing the number of
+//!   served orders: identical machinery with priority `cost + ET`
+//!   instead of the ratio.
+//!
+//! The "current smallest" selection uses a lazy heap with per-region
+//! version stamps: entries whose destination region changed since they
+//! were pushed are re-keyed instead of trusted, which reproduces the
+//! paper's re-sorting semantics in `O(P log P)` per batch.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mrvd_sim::{Assignment, BatchContext, DispatchPolicy};
+
+use crate::candidates::valid_candidates;
+use crate::config::DispatchConfig;
+use crate::oracle::DemandOracle;
+use crate::rates::{estimate_rates, et_for, idle_ratio};
+
+/// Whether to refine the greedy result with local search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Algorithm 2 only.
+    Greedy,
+    /// Algorithm 3 on top, with a sweep cap.
+    LocalSearch {
+        /// Maximum full sweeps over the assignment set.
+        max_sweeps: usize,
+    },
+}
+
+/// The pair-priority rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorityRule {
+    /// `IR = ET / (cost + ET)` (Eq. 17) — revenue objective.
+    IdleRatio,
+    /// `cost + ET` (Appendix C) — served-orders objective.
+    TotalTime,
+}
+
+/// The queueing-theoretic dispatch policy (IRG / LS / SHORT).
+pub struct QueueingPolicy {
+    cfg: DispatchConfig,
+    oracle: DemandOracle,
+    mode: SearchMode,
+    rule: PriorityRule,
+}
+
+impl QueueingPolicy {
+    /// General constructor.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(
+        cfg: DispatchConfig,
+        oracle: DemandOracle,
+        mode: SearchMode,
+        rule: PriorityRule,
+    ) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            oracle,
+            mode,
+            rule,
+        }
+    }
+
+    /// IRG (Algorithm 2).
+    pub fn irg(cfg: DispatchConfig, oracle: DemandOracle) -> Self {
+        Self::new(cfg, oracle, SearchMode::Greedy, PriorityRule::IdleRatio)
+    }
+
+    /// LS (Algorithm 3, seeded by IRG) with the default sweep cap of 16.
+    pub fn ls(cfg: DispatchConfig, oracle: DemandOracle) -> Self {
+        Self::new(
+            cfg,
+            oracle,
+            SearchMode::LocalSearch { max_sweeps: 16 },
+            PriorityRule::IdleRatio,
+        )
+    }
+
+    /// SHORT (Appendix C): greedy on `cost + ET`.
+    pub fn short(cfg: DispatchConfig, oracle: DemandOracle) -> Self {
+        Self::new(cfg, oracle, SearchMode::Greedy, PriorityRule::TotalTime)
+    }
+
+    fn key(&self, cost_s: f64, et_s: f64) -> f64 {
+        match self.rule {
+            PriorityRule::IdleRatio => idle_ratio(cost_s, et_s),
+            PriorityRule::TotalTime => cost_s + et_s,
+        }
+    }
+}
+
+/// Total order for finite keys in the heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("keys are never NaN")
+    }
+}
+
+impl DispatchPolicy for QueueingPolicy {
+    fn name(&self) -> String {
+        let algo = match (self.mode, self.rule) {
+            (SearchMode::Greedy, PriorityRule::IdleRatio) => "IRG",
+            (SearchMode::LocalSearch { .. }, PriorityRule::IdleRatio) => "LS",
+            (SearchMode::Greedy, PriorityRule::TotalTime) => "SHORT",
+            (SearchMode::LocalSearch { .. }, PriorityRule::TotalTime) => "SHORT-LS",
+        };
+        let ablation = if self.cfg.uniform_et { " (uniform ET)" } else { "" };
+        format!("{algo}-{}{ablation}", self.oracle.label())
+    }
+
+    fn assign(&mut self, ctx: &BatchContext<'_>) -> Vec<Assignment> {
+        let n_riders = ctx.riders.len();
+        let n_drivers = ctx.drivers.len();
+        if n_riders == 0 || n_drivers == 0 {
+            return Vec::new();
+        }
+        let tc_s = self.cfg.tc_s();
+        // Algorithm 1, lines 3–6: region state and rates.
+        let upcoming = self.oracle.upcoming_riders(ctx.now_ms, self.cfg.tc_ms);
+        let est = estimate_rates(ctx, &upcoming, &self.cfg);
+        let lambda = est.lambda.clone();
+        let mut mu = est.mu.clone();
+        let mut cap = est.capacity_k.clone();
+        let mut et = est.expected_idle_times(&self.cfg);
+        let mut version = vec![0u32; et.len()];
+
+        // Valid pairs (Algorithm 2, lines 3–5).
+        let cands = valid_candidates(ctx, self.cfg.max_candidates);
+        let rider_cost: Vec<f64> = ctx
+            .riders
+            .iter()
+            .map(|r| ctx.travel.travel_time_s(r.pickup, r.dropoff))
+            .collect();
+        let rider_dest: Vec<usize> = ctx
+            .riders
+            .iter()
+            .map(|r| ctx.grid.region_of(r.dropoff).idx())
+            .collect();
+
+        // Greedy selection with a lazy re-keyed heap (lines 7–12).
+        // Entry: (key, pickup travel ms, rider idx, driver idx, dest version).
+        type Entry = Reverse<(OrdF64, u64, usize, usize, u32)>;
+        let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+        for (r, cand) in cands.pairs.iter().enumerate() {
+            let dest = rider_dest[r];
+            let k = self.key(rider_cost[r], et[dest]);
+            for &(d, pickup_ms) in cand {
+                heap.push(Reverse((OrdF64(k), pickup_ms, r, d, version[dest])));
+            }
+        }
+        let mut rider_taken = vec![false; n_riders];
+        let mut driver_of_rider = vec![usize::MAX; n_riders];
+        let mut driver_taken = vec![false; n_drivers];
+        let mut rider_of_driver = vec![usize::MAX; n_drivers];
+        while let Some(Reverse((_, pickup_ms, r, d, ver))) = heap.pop() {
+            if rider_taken[r] || driver_taken[d] {
+                continue;
+            }
+            let dest = rider_dest[r];
+            if ver != version[dest] {
+                // Stale: re-key against the current expected idle time.
+                let k = self.key(rider_cost[r], et[dest]);
+                heap.push(Reverse((OrdF64(k), pickup_ms, r, d, version[dest])));
+                continue;
+            }
+            rider_taken[r] = true;
+            driver_taken[d] = true;
+            driver_of_rider[r] = d;
+            rider_of_driver[d] = r;
+            // Line 11: the driver will rejoin at the destination — bump μ.
+            mu[dest] += 1.0 / tc_s;
+            cap[dest] += 1;
+            if !self.cfg.uniform_et {
+                et[dest] = et_for(lambda[dest], mu[dest], cap[dest], self.cfg.beta, tc_s);
+            }
+            version[dest] = version[dest].wrapping_add(1);
+        }
+
+        // Local search refinement (Algorithm 3).
+        if let SearchMode::LocalSearch { max_sweeps } = self.mode {
+            let by_driver = cands.by_driver(n_drivers);
+            for _sweep in 0..max_sweeps {
+                let mut changed = false;
+                for d in 0..n_drivers {
+                    let cur = rider_of_driver[d];
+                    if cur == usize::MAX {
+                        continue;
+                    }
+                    let cur_key = self.key(rider_cost[cur], et[rider_dest[cur]]);
+                    // Best strict improvement among unassigned valid riders.
+                    let mut best: Option<(usize, f64)> = None;
+                    for &(r2, _) in &by_driver[d] {
+                        if rider_taken[r2] {
+                            continue;
+                        }
+                        let k2 = self.key(rider_cost[r2], et[rider_dest[r2]]);
+                        if k2 < cur_key - 1e-12 && best.is_none_or(|(_, bk)| k2 < bk) {
+                            best = Some((r2, k2));
+                        }
+                    }
+                    if let Some((r2, _)) = best {
+                        // Swap: free `cur`, take `r2`; move one future
+                        // rejoin from dest(cur) to dest(r2).
+                        rider_taken[cur] = false;
+                        driver_of_rider[cur] = usize::MAX;
+                        rider_taken[r2] = true;
+                        driver_of_rider[r2] = d;
+                        rider_of_driver[d] = r2;
+                        let (from, to) = (rider_dest[cur], rider_dest[r2]);
+                        mu[from] -= 1.0 / tc_s;
+                        cap[from] = cap[from].saturating_sub(1);
+                        mu[to] += 1.0 / tc_s;
+                        cap[to] += 1;
+                        if !self.cfg.uniform_et {
+                            et[from] = et_for(lambda[from], mu[from], cap[from], self.cfg.beta, tc_s);
+                            et[to] = et_for(lambda[to], mu[to], cap[to], self.cfg.beta, tc_s);
+                        }
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+
+        // Emit assignments with the final idle-time estimates (Table 3).
+        (0..n_riders)
+            .filter(|&r| driver_of_rider[r] != usize::MAX)
+            .map(|r| Assignment {
+                rider: ctx.riders[r].id,
+                driver: ctx.drivers[driver_of_rider[r]].id,
+                estimated_idle_s: Some(et[rider_dest[r]]),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrvd_demand::DemandSeries;
+    use mrvd_sim::{AvailableDriver, DriverId, RiderId, WaitingRider};
+    use mrvd_spatial::{ConstantSpeedModel, Grid, Point, TravelModel};
+
+    /// Two probe regions with controllable upcoming demand.
+    const HOT: Point = Point::new(-73.985, 40.755);
+    const COLD: Point = Point::new(-73.80, 40.90);
+
+    /// A single-day series with `hot_count` upcoming riders in the HOT
+    /// region and zero elsewhere, for every slot.
+    fn oracle_with_hot(grid: &Grid, hot_count: f64) -> DemandOracle {
+        let hot_idx = grid.region_of(HOT).idx();
+        let series = DemandSeries::from_fn(1, 48, grid.num_regions(), |_, _, r| {
+            if r == hot_idx {
+                hot_count
+            } else {
+                0.0
+            }
+        });
+        DemandOracle::real(series, 0)
+    }
+
+    fn rider(id: u32, pickup: Point, dropoff: Point) -> WaitingRider {
+        WaitingRider {
+            id: RiderId(id),
+            pickup,
+            dropoff,
+            request_ms: 0,
+            deadline_ms: 300_000,
+        }
+    }
+
+    fn driver(id: u32, pos: Point) -> AvailableDriver {
+        AvailableDriver {
+            id: DriverId(id),
+            pos,
+            available_since_ms: 0,
+        }
+    }
+
+    fn ctx<'a>(
+        grid: &'a Grid,
+        travel: &'a ConstantSpeedModel,
+        riders: &'a [WaitingRider],
+        drivers: &'a [AvailableDriver],
+    ) -> BatchContext<'a> {
+        BatchContext {
+            now_ms: 0,
+            riders,
+            drivers,
+            busy: &[],
+            travel,
+            grid,
+        }
+    }
+
+    #[test]
+    fn prefers_the_hot_destination_at_equal_cost() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let base = Point::new(-73.92, 40.80);
+        // Two riders with (almost) equal travel cost; one ends HOT, one
+        // ends COLD. One driver.
+        let to_hot = rider(0, base, HOT);
+        let to_cold = rider(1, base, COLD);
+        let riders = [to_hot, to_cold];
+        let drivers = [driver(0, base)];
+        let mut policy = QueueingPolicy::irg(DispatchConfig::default(), oracle_with_hot(&grid, 50.0));
+        let out = policy.assign(&ctx(&grid, &travel, &riders, &drivers));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rider, RiderId(0), "should pick the hot-destination rider");
+        assert!(out[0].estimated_idle_s.is_some());
+    }
+
+    #[test]
+    fn prefers_longer_trips_to_the_same_destination() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let near_base = Point::new(-73.99, 40.76);
+        let far_base = Point::new(-74.02, 40.60);
+        // Both riders end HOT; the far one has a much higher travel cost.
+        // Deadlines are generous so one driver can reach either pickup.
+        let mut short_trip = rider(0, near_base, HOT);
+        let mut long_trip = rider(1, far_base, HOT);
+        short_trip.deadline_ms = 1_500_000;
+        long_trip.deadline_ms = 1_500_000;
+        let riders = [short_trip, long_trip];
+        let drivers = [driver(0, Point::new(-74.0, 40.7))];
+        let mut policy = QueueingPolicy::irg(DispatchConfig::default(), oracle_with_hot(&grid, 5.0));
+        let out = policy.assign(&ctx(&grid, &travel, &riders, &drivers));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rider, RiderId(1), "should pick the long trip (rule a)");
+    }
+
+    #[test]
+    fn short_rule_prefers_cheap_trips_instead() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let near_base = Point::new(-73.99, 40.76);
+        let far_base = Point::new(-74.02, 40.60);
+        let mut short_trip = rider(0, near_base, HOT);
+        let mut long_trip = rider(1, far_base, HOT);
+        short_trip.deadline_ms = 1_500_000;
+        long_trip.deadline_ms = 1_500_000;
+        let riders = [short_trip, long_trip];
+        let drivers = [driver(0, Point::new(-74.0, 40.7))];
+        let mut policy =
+            QueueingPolicy::short(DispatchConfig::default(), oracle_with_hot(&grid, 5.0));
+        let out = policy.assign(&ctx(&grid, &travel, &riders, &drivers));
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].rider,
+            RiderId(0),
+            "SHORT minimizes cost + ET, so the short trip wins"
+        );
+    }
+
+    #[test]
+    fn uniform_et_ablation_ignores_destination_hotness() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let base = Point::new(-73.92, 40.80);
+        // Hot-destination rider is (slightly) farther from the driver, so
+        // with hotness silenced the tie must break toward… both riders
+        // have equal cost and equal (uniform) ET; the heap then orders by
+        // pickup time, favouring the rider whose pickup is nearer.
+        let to_hot = rider(0, Point::new(-73.921, 40.801), HOT);
+        let to_cold = rider(1, base, COLD);
+        // Costs differ slightly; make them effectively equal by putting
+        // both pickups at the same place and dropoffs symmetric: instead
+        // simply check the *estimates* are flat.
+        let riders = [to_hot, to_cold];
+        let drivers = [driver(0, base)];
+        let cfg = DispatchConfig {
+            uniform_et: true,
+            ..DispatchConfig::default()
+        };
+        let mut policy = QueueingPolicy::irg(cfg.clone(), oracle_with_hot(&grid, 500.0));
+        let out = policy.assign(&ctx(&grid, &travel, &riders, &drivers));
+        assert_eq!(out.len(), 1);
+        // Uniform-ET estimate is the constant t_c / 2.
+        assert_eq!(out[0].estimated_idle_s, Some(cfg.tc_s() / 2.0));
+    }
+
+    #[test]
+    fn ls_reaches_a_local_optimum() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        // A crowd of riders and a few drivers around Midtown.
+        let mut riders = Vec::new();
+        for i in 0..12u32 {
+            let pickup = Point::new(-73.98 + 0.002 * (i % 4) as f64, 40.75 + 0.002 * (i / 4) as f64);
+            let dropoff = if i % 3 == 0 { HOT } else { COLD };
+            riders.push(rider(i, pickup, dropoff));
+        }
+        let drivers: Vec<AvailableDriver> = (0..4u32)
+            .map(|i| driver(i, Point::new(-73.979 + 0.001 * i as f64, 40.751)))
+            .collect();
+        let cfg = DispatchConfig::default();
+        let oracle = oracle_with_hot(&grid, 30.0);
+        let mut policy = QueueingPolicy::ls(cfg.clone(), oracle);
+        let c = ctx(&grid, &travel, &riders, &drivers);
+        let out = policy.assign(&c);
+        assert!(!out.is_empty());
+        // Recompute the final region state exactly as the policy would,
+        // then verify no unassigned valid rider strictly improves any
+        // driver's idle ratio — the fixed-point property of Algorithm 3.
+        let oracle = oracle_with_hot(&grid, 30.0);
+        let upcoming = oracle.upcoming_riders(0, cfg.tc_ms);
+        let est = estimate_rates(&c, &upcoming, &cfg);
+        let tc_s = cfg.tc_s();
+        let mut mu = est.mu.clone();
+        let mut cap = est.capacity_k.clone();
+        let assigned: std::collections::HashMap<u32, u32> =
+            out.iter().map(|a| (a.driver.0, a.rider.0)).collect();
+        let taken: std::collections::HashSet<u32> = out.iter().map(|a| a.rider.0).collect();
+        let dest =
+            |r: &WaitingRider| grid.region_of(r.dropoff).idx();
+        for a in &out {
+            let r = &riders[a.rider.0 as usize];
+            let k = dest(r);
+            mu[k] += 1.0 / tc_s;
+            cap[k] += 1;
+        }
+        let et: Vec<f64> = (0..grid.num_regions())
+            .map(|k| et_for(est.lambda[k], mu[k], cap[k], cfg.beta, tc_s))
+            .collect();
+        let cost = |r: &WaitingRider| travel.travel_time_s(r.pickup, r.dropoff);
+        for (&d, &r_cur) in &assigned {
+            let cur = &riders[r_cur as usize];
+            let cur_ir = idle_ratio(cost(cur), et[dest(cur)]);
+            for r2 in &riders {
+                if taken.contains(&r2.id.0) {
+                    continue;
+                }
+                if !c.is_valid_pair(r2, &drivers[d as usize]) {
+                    continue;
+                }
+                let ir2 = idle_ratio(cost(r2), et[dest(r2)]);
+                assert!(
+                    ir2 >= cur_ir - 1e-9,
+                    "driver {d}: unassigned rider {} has IR {ir2} < current {cur_ir}",
+                    r2.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn respects_candidate_validity() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        // Rider with a tight deadline; only the near driver qualifies.
+        let mut r = rider(0, Point::new(-73.98, 40.75), HOT);
+        r.deadline_ms = 30_000;
+        let riders = [r];
+        let drivers = [
+            driver(0, Point::new(-74.02, 40.60)), // far
+            driver(1, Point::new(-73.981, 40.751)), // near
+        ];
+        let mut policy = QueueingPolicy::irg(DispatchConfig::default(), oracle_with_hot(&grid, 5.0));
+        let out = policy.assign(&ctx(&grid, &travel, &riders, &drivers));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].driver, DriverId(1));
+    }
+
+    #[test]
+    fn empty_batches_return_empty() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let mut policy = QueueingPolicy::irg(DispatchConfig::default(), oracle_with_hot(&grid, 5.0));
+        assert!(policy.assign(&ctx(&grid, &travel, &[], &[])).is_empty());
+        let drivers = [driver(0, HOT)];
+        assert!(policy
+            .assign(&ctx(&grid, &travel, &[], &drivers))
+            .is_empty());
+    }
+
+    #[test]
+    fn names_encode_variant_and_oracle() {
+        let grid = Grid::nyc_16x16();
+        let mk = |mode, rule| {
+            QueueingPolicy::new(
+                DispatchConfig::default(),
+                oracle_with_hot(&grid, 1.0),
+                mode,
+                rule,
+            )
+        };
+        assert_eq!(
+            mk(SearchMode::Greedy, PriorityRule::IdleRatio).name(),
+            "IRG-R"
+        );
+        assert_eq!(
+            mk(
+                SearchMode::LocalSearch { max_sweeps: 4 },
+                PriorityRule::IdleRatio
+            )
+            .name(),
+            "LS-R"
+        );
+        assert_eq!(
+            mk(SearchMode::Greedy, PriorityRule::TotalTime).name(),
+            "SHORT-R"
+        );
+    }
+}

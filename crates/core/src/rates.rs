@@ -1,0 +1,281 @@
+//! Per-region arrival-rate estimation (Eqs. 18–19) and the expected-idle-
+//! time table that drives the idle ratio (Eq. 17).
+
+use mrvd_queueing::{expected_idle_time, QueueParams, Reneging};
+use mrvd_sim::BatchContext;
+
+use crate::config::DispatchConfig;
+
+/// Per-region state estimated at the top of a batch (Algorithm 1,
+/// lines 3–6, and Algorithm 2, line 6).
+#[derive(Debug, Clone)]
+pub struct RegionEstimates {
+    /// Waiting riders `|R_k|` in each region.
+    pub waiting: Vec<u32>,
+    /// Available drivers `|D_k|`.
+    pub available: Vec<u32>,
+    /// Busy drivers rejoining in the window `|D̂_k|`.
+    pub rejoining: Vec<u32>,
+    /// Rider arrival rate λ(k), per second (Eq. 18).
+    pub lambda: Vec<f64>,
+    /// Driver rejoin rate μ(k), per second (Eq. 19).
+    pub mu: Vec<f64>,
+    /// Driver-side congestion cap `K` per region (available + rejoining).
+    pub capacity_k: Vec<u64>,
+}
+
+/// Estimates all per-region rates for the current batch.
+///
+/// `upcoming_riders[k]` is the oracle's `|R̂_k|` for the window
+/// `[now, now + t_c)`; waiting/available/rejoining are counted from the
+/// batch context.
+pub fn estimate_rates(
+    ctx: &BatchContext<'_>,
+    upcoming_riders: &[f64],
+    cfg: &DispatchConfig,
+) -> RegionEstimates {
+    let n = ctx.grid.num_regions();
+    assert_eq!(
+        upcoming_riders.len(),
+        n,
+        "estimate_rates: oracle regions != grid regions"
+    );
+    let tc_s = cfg.tc_s();
+    let mut waiting = vec![0u32; n];
+    let mut available = vec![0u32; n];
+    let mut rejoining = vec![0u32; n];
+    for r in ctx.riders {
+        waiting[ctx.grid.region_of(r.pickup).idx()] += 1;
+    }
+    for d in ctx.drivers {
+        available[ctx.grid.region_of(d.pos).idx()] += 1;
+    }
+    let window_end = ctx.now_ms + cfg.tc_ms;
+    for b in ctx.busy {
+        if b.dropoff_ms >= ctx.now_ms && b.dropoff_ms < window_end {
+            rejoining[ctx.grid.region_of(b.dropoff_pos).idx()] += 1;
+        }
+    }
+    let mut lambda = vec![0.0; n];
+    let mut mu = vec![0.0; n];
+    let mut capacity_k = vec![0u64; n];
+    for k in 0..n {
+        let (r_k, d_k) = (waiting[k] as f64, available[k] as f64);
+        let r_hat = upcoming_riders[k].max(0.0);
+        let d_hat = rejoining[k] as f64;
+        // Eq. 18: the backlog joins the arrival stream when riders exceed
+        // drivers.
+        lambda[k] = if r_k <= d_k {
+            r_hat / tc_s
+        } else {
+            (r_hat + r_k - d_k) / tc_s
+        };
+        // Eq. 19: the driver surplus joins the rejoin stream otherwise.
+        mu[k] = if r_k <= d_k {
+            (d_hat + d_k - r_k) / tc_s
+        } else {
+            d_hat / tc_s
+        };
+        capacity_k[k] = (available[k] + rejoining[k]) as u64;
+    }
+    RegionEstimates {
+        waiting,
+        available,
+        rejoining,
+        lambda,
+        mu,
+        capacity_k,
+    }
+}
+
+impl RegionEstimates {
+    /// Computes the expected idle time (seconds) for every region from
+    /// the current rate estimates (Eqs. 10/13/16). Infinite values (a
+    /// region where no riders are expected) are clamped to `t_c` — the
+    /// driver will be re-evaluated next window. With `cfg.uniform_et`
+    /// every region gets the constant `t_c / 2` (the E13 ablation).
+    pub fn expected_idle_times(&self, cfg: &DispatchConfig) -> Vec<f64> {
+        let tc_s = cfg.tc_s();
+        if cfg.uniform_et {
+            return vec![tc_s / 2.0; self.lambda.len()];
+        }
+        self.lambda
+            .iter()
+            .zip(&self.mu)
+            .zip(&self.capacity_k)
+            .map(|((&l, &m), &k)| et_for(l, m, k, cfg.beta, tc_s))
+            .collect()
+    }
+}
+
+/// Expected idle time for one region; shared by the batch-level table and
+/// the incremental updates inside the greedy/local-search loops.
+pub fn et_for(lambda: f64, mu: f64, capacity_k: u64, beta: f64, tc_s: f64) -> f64 {
+    let params = QueueParams::new(lambda, mu, capacity_k, Reneging::Exp { beta });
+    let et = expected_idle_time(&params).expect("reneging queues always converge");
+    if et.is_finite() {
+        et
+    } else {
+        tc_s
+    }
+}
+
+/// The idle ratio of Eq. 17: `IR = ET / (cost + ET)`, with the `ET = ∞`
+/// limit mapped to 1. Smaller is better.
+pub fn idle_ratio(cost_s: f64, et_s: f64) -> f64 {
+    assert!(cost_s >= 0.0, "idle_ratio: negative cost");
+    if et_s.is_infinite() {
+        return 1.0;
+    }
+    if cost_s + et_s == 0.0 {
+        // Zero-cost, zero-idle: define as 0 (best possible).
+        return 0.0;
+    }
+    et_s / (cost_s + et_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrvd_sim::{AvailableDriver, BusyDriver, DriverId, RiderId, WaitingRider};
+    use mrvd_spatial::{ConstantSpeedModel, Grid, Point};
+
+    fn ctx_fixture<'a>(
+        grid: &'a Grid,
+        travel: &'a ConstantSpeedModel,
+        riders: &'a [WaitingRider],
+        drivers: &'a [AvailableDriver],
+        busy: &'a [BusyDriver],
+    ) -> BatchContext<'a> {
+        BatchContext {
+            now_ms: 0,
+            riders,
+            drivers,
+            busy,
+            travel,
+            grid,
+        }
+    }
+
+    fn rider(p: Point) -> WaitingRider {
+        WaitingRider {
+            id: RiderId(0),
+            pickup: p,
+            dropoff: p,
+            request_ms: 0,
+            deadline_ms: 60_000,
+        }
+    }
+
+    fn driver(p: Point) -> AvailableDriver {
+        AvailableDriver {
+            id: DriverId(0),
+            pos: p,
+            available_since_ms: 0,
+        }
+    }
+
+    #[test]
+    fn eq18_19_balance_backlog_and_surplus() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::default();
+        let p = Point::new(-73.985, 40.755);
+        let k = grid.region_of(p).idx();
+        let cfg = DispatchConfig {
+            tc_ms: 600_000, // 10 min
+            ..DispatchConfig::default()
+        };
+        // 3 waiting riders, 1 driver, 0 rejoining, 5 predicted riders.
+        let riders = [rider(p), rider(p), rider(p)];
+        let drivers = [driver(p)];
+        let mut upcoming = vec![0.0; grid.num_regions()];
+        upcoming[k] = 5.0;
+        let ctx = ctx_fixture(&grid, &travel, &riders, &drivers, &[]);
+        let est = estimate_rates(&ctx, &upcoming, &cfg);
+        // |R_k| > |D_k|: λ = (5 + 3 − 1)/600 s, μ = 0/600.
+        assert!((est.lambda[k] - 7.0 / 600.0).abs() < 1e-12);
+        assert_eq!(est.mu[k], 0.0);
+        assert_eq!(est.capacity_k[k], 1);
+
+        // Flip: 1 rider, 3 drivers, 2 rejoining.
+        let riders = [rider(p)];
+        let drivers = [driver(p), driver(p), driver(p)];
+        let busy = [BusyDriver {
+            id: DriverId(9),
+            dropoff_ms: 100_000,
+            dropoff_pos: p,
+        }, BusyDriver {
+            id: DriverId(10),
+            dropoff_ms: 550_000,
+            dropoff_pos: p,
+        }];
+        let ctx = ctx_fixture(&grid, &travel, &riders, &drivers, &busy);
+        let est = estimate_rates(&ctx, &upcoming, &cfg);
+        // |R_k| ≤ |D_k|: λ = 5/600, μ = (2 + 3 − 1)/600.
+        assert!((est.lambda[k] - 5.0 / 600.0).abs() < 1e-12);
+        assert!((est.mu[k] - 4.0 / 600.0).abs() < 1e-12);
+        assert_eq!(est.capacity_k[k], 5);
+    }
+
+    #[test]
+    fn rejoins_outside_window_are_ignored() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::default();
+        let p = Point::new(-73.985, 40.755);
+        let cfg = DispatchConfig {
+            tc_ms: 300_000,
+            ..DispatchConfig::default()
+        };
+        let busy = [BusyDriver {
+            id: DriverId(0),
+            dropoff_ms: 400_000, // beyond the 5-minute window
+            dropoff_pos: p,
+        }];
+        let ctx = ctx_fixture(&grid, &travel, &[], &[], &busy);
+        let est = estimate_rates(&ctx, &vec![0.0; grid.num_regions()], &cfg);
+        assert_eq!(est.rejoining[grid.region_of(p).idx()], 0);
+    }
+
+    #[test]
+    fn hot_regions_have_smaller_et() {
+        let cfg = DispatchConfig::default();
+        let tc = cfg.tc_s();
+        // Hot: many upcoming riders, few drivers.
+        let hot = et_for(0.05, 0.002, 3, cfg.beta, tc);
+        // Cold: no upcoming riders.
+        let cold = et_for(0.0, 0.002, 3, cfg.beta, tc);
+        assert!(hot < cold, "hot {hot} vs cold {cold}");
+        assert_eq!(cold, tc); // clamped infinite
+    }
+
+    #[test]
+    fn idle_ratio_obeys_the_two_rules() {
+        // Rule (a): higher travel cost → smaller IR.
+        assert!(idle_ratio(900.0, 100.0) < idle_ratio(300.0, 100.0));
+        // Rule (b): smaller expected idle time → smaller IR.
+        assert!(idle_ratio(600.0, 50.0) < idle_ratio(600.0, 200.0));
+        // Bounds.
+        assert_eq!(idle_ratio(100.0, f64::INFINITY), 1.0);
+        assert_eq!(idle_ratio(0.0, 0.0), 0.0);
+        let ir = idle_ratio(500.0, 500.0);
+        assert!((0.0..=1.0).contains(&ir));
+    }
+
+    #[test]
+    fn uniform_et_ablation_flattens_regions() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::default();
+        let p = Point::new(-73.985, 40.755);
+        let riders = [rider(p), rider(p)];
+        let ctx = ctx_fixture(&grid, &travel, &riders, &[], &[]);
+        let mut upcoming = vec![0.0; grid.num_regions()];
+        upcoming[10] = 40.0;
+        let cfg = DispatchConfig {
+            uniform_et: true,
+            ..DispatchConfig::default()
+        };
+        let est = estimate_rates(&ctx, &upcoming, &cfg);
+        let ets = est.expected_idle_times(&cfg);
+        assert!(ets.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,92 @@
+//! Initial driver placement.
+//!
+//! The paper initializes driver origins by sampling order records and
+//! using their pickup locations (§6.2), which concentrates supply where
+//! demand historically is — reproduced here.
+
+use mrvd_spatial::Point;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::trip::TripRecord;
+
+/// Samples `n` initial driver positions from the pickup locations of
+/// `trips`. Samples without replacement while possible, then with
+/// replacement if `n > trips.len()`.
+///
+/// # Panics
+/// Panics if `trips` is empty and `n > 0`.
+pub fn sample_driver_positions<R: Rng + ?Sized>(
+    trips: &[TripRecord],
+    n: usize,
+    rng: &mut R,
+) -> Vec<Point> {
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(
+        !trips.is_empty(),
+        "sample_driver_positions: no trips to sample from"
+    );
+    if n <= trips.len() {
+        let mut idx: Vec<usize> = (0..trips.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(n);
+        idx.into_iter().map(|i| trips[i].pickup).collect()
+    } else {
+        (0..n)
+            .map(|_| trips[rng.gen_range(0..trips.len())].pickup)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn trips(n: usize) -> Vec<TripRecord> {
+        (0..n)
+            .map(|i| TripRecord {
+                id: i as u64,
+                request_ms: 0,
+                pickup: Point::new(-74.0 + i as f64 * 1e-3, 40.7),
+                dropoff: Point::new(-73.9, 40.8),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn without_replacement_when_enough_trips() {
+        let ts = trips(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pos = sample_driver_positions(&ts, 50, &mut rng);
+        assert_eq!(pos.len(), 50);
+        // All positions are distinct pickups (trips are distinct).
+        let mut lons: Vec<f64> = pos.iter().map(|p| p.lon).collect();
+        lons.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        lons.dedup();
+        assert_eq!(lons.len(), 50);
+    }
+
+    #[test]
+    fn with_replacement_when_oversampled() {
+        let ts = trips(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let pos = sample_driver_positions(&ts, 10, &mut rng);
+        assert_eq!(pos.len(), 10);
+    }
+
+    #[test]
+    fn zero_drivers_is_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(sample_driver_positions(&[], 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no trips")]
+    fn empty_trips_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        sample_driver_positions(&[], 1, &mut rng);
+    }
+}

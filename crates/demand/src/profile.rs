@@ -1,0 +1,374 @@
+//! The spatio-temporal intensity model behind the NYC-like workload.
+//!
+//! Calibration targets (all taken from facts the paper states or uses):
+//!
+//! * ~282K orders on a weekday over the 16×16 NYC grid (§6.1);
+//! * order arrivals per region over short windows are Poisson (App. B);
+//! * demand concentrates in a Manhattan-like hotspot band (Fig. 5);
+//! * two daily peaks (the paper discusses 8 A.M. and 8 P.M. rush hours);
+//! * most trips shorter than 20 minutes (used to explain Fig. 9);
+//! * morning flow points *into* the core and evening flow *out of* it —
+//!   the supply imbalance motivating the whole framework (Example 1).
+
+use mrvd_spatial::{Grid, Point, RegionId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::{SLOTS_PER_DAY, SLOT_MS};
+
+/// A Gaussian demand hotspot in degree space.
+struct Hotspot {
+    center: Point,
+    /// Standard deviation in degrees (latitude scale).
+    sigma: f64,
+    amplitude: f64,
+}
+
+/// Evaluates a hotspot field at `p`; longitude is compressed by cos(40.7°)
+/// so the Gaussians are round in meters.
+fn field(hotspots: &[Hotspot], base: f64, p: Point) -> f64 {
+    const LON_SCALE: f64 = 0.758; // cos of mid-latitude
+    let mut v = base;
+    for h in hotspots {
+        let dx = (p.lon - h.center.lon) * LON_SCALE;
+        let dy = p.lat - h.center.lat;
+        let d2 = dx * dx + dy * dy;
+        v += h.amplitude * (-d2 / (2.0 * h.sigma * h.sigma)).exp();
+    }
+    v
+}
+
+/// Manhattan-core hotspots (midtown, downtown, upper east/west).
+///
+/// Amplitudes and the tiny uniform base are calibrated so that demand is
+/// as core-concentrated as the real yellow-taxi data (Fig. 5 of the
+/// paper): the large majority of pickups and dropoffs stay in and around
+/// Manhattan, so drivers circulate in the dense core instead of being
+/// stranded in empty periphery cells.
+fn core_hotspots() -> Vec<Hotspot> {
+    vec![
+        Hotspot {
+            center: Point::new(-73.985, 40.755), // Midtown
+            sigma: 0.024,
+            amplitude: 1.0,
+        },
+        Hotspot {
+            center: Point::new(-74.008, 40.712), // Downtown
+            sigma: 0.016,
+            amplitude: 0.6,
+        },
+        Hotspot {
+            center: Point::new(-73.960, 40.780), // Upper East/West
+            sigma: 0.020,
+            amplitude: 0.6,
+        },
+    ]
+}
+
+/// Residential hotspots: the near-core neighbourhoods yellow cabs
+/// actually serve (plus faint airport traffic). Deliberately hugging the
+/// core — see [`core_hotspots`].
+fn residential_hotspots() -> Vec<Hotspot> {
+    vec![
+        Hotspot {
+            center: Point::new(-73.975, 40.730), // East/West Village
+            sigma: 0.022,
+            amplitude: 0.8,
+        },
+        Hotspot {
+            center: Point::new(-73.955, 40.775), // Upper East Side
+            sigma: 0.020,
+            amplitude: 0.7,
+        },
+        Hotspot {
+            center: Point::new(-73.955, 40.715), // Williamsburg
+            sigma: 0.018,
+            amplitude: 0.25,
+        },
+        Hotspot {
+            center: Point::new(-73.940, 40.750), // LIC
+            sigma: 0.016,
+            amplitude: 0.2,
+        },
+        Hotspot {
+            center: Point::new(-73.870, 40.770), // LGA
+            sigma: 0.010,
+            amplitude: 0.08,
+        },
+        Hotspot {
+            center: Point::new(-73.790, 40.650), // JFK
+            sigma: 0.012,
+            amplitude: 0.08,
+        },
+    ]
+}
+
+/// Unnormalized time-of-day demand density, hours in `[0, 24)`.
+fn time_curve(h: f64) -> f64 {
+    let bump = |mu: f64, sigma: f64| (-((h - mu) * (h - mu)) / (2.0 * sigma * sigma)).exp();
+    0.18 + 1.00 * bump(8.25, 1.3) + 0.45 * bump(13.5, 2.5) + 0.95 * bump(18.5, 1.8)
+        + 0.35 * bump(22.0, 1.5)
+}
+
+/// Morning rush weight in `[0, 1]` (peaks at ~8:15).
+fn morning_bump(h: f64) -> f64 {
+    (-((h - 8.25) * (h - 8.25)) / (2.0 * 1.5 * 1.5)).exp()
+}
+
+/// Evening rush weight in `[0, 1]` (peaks at ~18:30).
+fn evening_bump(h: f64) -> f64 {
+    (-((h - 18.5) * (h - 18.5)) / (2.0 * 2.0 * 2.0)).exp()
+}
+
+/// Day-of-week demand multipliers, Monday-first.
+const DOW_FACTOR: [f64; 7] = [1.0, 1.0, 1.0, 1.02, 1.05, 0.88, 0.72];
+
+/// The complete spatio-temporal intensity profile.
+///
+/// Deterministic given `(grid, orders_per_day, seed)`; the seed only drives
+/// the per-day "weather" factor, so different days of the same profile
+/// share geography and the daily curve — exactly what a predictor can hope
+/// to learn.
+pub struct NycProfile {
+    grid: Grid,
+    core: Vec<f64>,
+    residential: Vec<f64>,
+    slot_weight: Vec<f64>,
+    orders_per_day: f64,
+    seed: u64,
+}
+
+impl NycProfile {
+    /// Builds the profile over `grid` targeting `orders_per_day` orders on
+    /// a nominal weekday (before day-of-week and weather factors).
+    ///
+    /// # Panics
+    /// Panics if `orders_per_day` is not positive and finite.
+    pub fn new(grid: Grid, orders_per_day: f64, seed: u64) -> Self {
+        assert!(
+            orders_per_day > 0.0 && orders_per_day.is_finite(),
+            "NycProfile: orders_per_day must be positive, got {orders_per_day}"
+        );
+        let core_h = core_hotspots();
+        let res_h = residential_hotspots();
+        let mut core: Vec<f64> = grid
+            .regions()
+            .map(|r| field(&core_h, 0.004, grid.center(r)))
+            .collect();
+        let mut residential: Vec<f64> = grid
+            .regions()
+            .map(|r| field(&res_h, 0.008, grid.center(r)))
+            .collect();
+        normalize(&mut core);
+        normalize(&mut residential);
+        let mut slot_weight: Vec<f64> = (0..SLOTS_PER_DAY)
+            .map(|s| {
+                let mid_h = (s as f64 + 0.5) * (SLOT_MS as f64 / 3_600_000.0);
+                time_curve(mid_h)
+            })
+            .collect();
+        normalize(&mut slot_weight);
+        Self {
+            grid,
+            core,
+            residential,
+            slot_weight,
+            orders_per_day,
+            seed,
+        }
+    }
+
+    /// The grid this profile lives on.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Target weekday order volume.
+    pub fn orders_per_day(&self) -> f64 {
+        self.orders_per_day
+    }
+
+    /// The combined day-of-week × weather multiplier for `day`
+    /// (day 0 is a Monday). The weather factor is log-normal with σ ≈ 8%,
+    /// seeded per day.
+    pub fn day_factor(&self, day: usize) -> f64 {
+        let dow = DOW_FACTOR[day % 7];
+        // Box–Muller from a per-day-seeded RNG.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (day as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        dow * (0.08 * z).exp()
+    }
+
+    /// Normalized per-slot share of the daily volume (sums to 1).
+    pub fn slot_weight(&self, slot: usize) -> f64 {
+        self.slot_weight[slot % SLOTS_PER_DAY]
+    }
+
+    /// Fraction of trip *origins* drawn from the core field at hour `h`
+    /// (morning rush pulls origins to residential areas; evening pushes
+    /// them back to the core).
+    fn origin_core_mix(h: f64) -> f64 {
+        (0.5 + 0.35 * (evening_bump(h) - morning_bump(h))).clamp(0.1, 0.9)
+    }
+
+    /// Per-region origin weights for `slot`, normalized to sum 1.
+    pub fn origin_weights(&self, slot: usize) -> Vec<f64> {
+        let h = (slot % SLOTS_PER_DAY) as f64 * (SLOT_MS as f64 / 3_600_000.0);
+        let mix = Self::origin_core_mix(h + 0.25);
+        let mut w: Vec<f64> = self
+            .core
+            .iter()
+            .zip(&self.residential)
+            .map(|(c, r)| mix * c + (1.0 - mix) * r)
+            .collect();
+        normalize(&mut w);
+        w
+    }
+
+    /// Per-region destination weights for `slot` (mirror image of the
+    /// origin mix), normalized to sum 1.
+    pub fn dest_weights(&self, slot: usize) -> Vec<f64> {
+        let h = (slot % SLOTS_PER_DAY) as f64 * (SLOT_MS as f64 / 3_600_000.0);
+        let mix = 1.0 - Self::origin_core_mix(h + 0.25);
+        let mut w: Vec<f64> = self
+            .core
+            .iter()
+            .zip(&self.residential)
+            .map(|(c, r)| mix * c + (1.0 - mix) * r)
+            .collect();
+        normalize(&mut w);
+        w
+    }
+
+    /// Expected (noise-free) order count for `region` in `slot` of `day` —
+    /// the Poisson rate the generator samples from.
+    pub fn expected_slot_count(&self, day: usize, slot: usize, region: RegionId) -> f64 {
+        self.orders_per_day
+            * self.day_factor(day)
+            * self.slot_weight(slot)
+            * self.origin_weights(slot)[region.idx()]
+    }
+}
+
+/// Normalizes a non-negative weight vector to sum 1.
+fn normalize(w: &mut [f64]) {
+    let s: f64 = w.iter().sum();
+    assert!(s > 0.0, "normalize: weights sum to zero");
+    for x in w {
+        *x /= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> NycProfile {
+        NycProfile::new(Grid::nyc_16x16(), 282_255.0, 13)
+    }
+
+    #[test]
+    fn slot_weights_sum_to_one() {
+        let p = profile();
+        let sum: f64 = (0..SLOTS_PER_DAY).map(|s| p.slot_weight(s)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weekday_volume_matches_target() {
+        let p = profile();
+        // Monday (day 0): factor ≈ 1 up to weather noise.
+        let total: f64 = (0..SLOTS_PER_DAY)
+            .flat_map(|s| {
+                p.grid()
+                    .regions()
+                    .map(move |r| (s, r))
+            })
+            .map(|(s, r)| p.expected_slot_count(0, s, r))
+            .sum();
+        let target = 282_255.0 * p.day_factor(0);
+        assert!(
+            (total - target).abs() < 1e-6 * target,
+            "total {total} vs target {target}"
+        );
+        assert!((p.day_factor(0) - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn sunday_is_quieter_than_friday() {
+        let p = profile();
+        // The deterministic day-of-week parts order Sunday below Friday.
+        let (fri_dow, sun_dow) = (DOW_FACTOR[4], DOW_FACTOR[6]);
+        assert!(sun_dow < fri_dow, "dow factors misordered");
+        // And the full factor ordering holds for most seeds.
+        let fri = p.day_factor(4);
+        let sun = p.day_factor(6);
+        assert!(sun < fri * 1.1, "sun {sun} vs fri {fri}");
+    }
+
+    #[test]
+    fn rush_hours_dominate_the_night() {
+        let p = profile();
+        let slot_of = |h: f64| (h * 2.0) as usize;
+        let rush_am = p.slot_weight(slot_of(8.0));
+        let rush_pm = p.slot_weight(slot_of(18.5));
+        let night = p.slot_weight(slot_of(3.5));
+        assert!(rush_am > 3.0 * night, "am {rush_am} night {night}");
+        assert!(rush_pm > 3.0 * night);
+    }
+
+    #[test]
+    fn day_factor_is_deterministic_per_day() {
+        let p = profile();
+        assert_eq!(p.day_factor(3), p.day_factor(3));
+        assert_ne!(p.day_factor(3), p.day_factor(10)); // same dow, different weather
+    }
+
+    #[test]
+    fn manhattan_core_outweighs_periphery() {
+        let p = profile();
+        let g = p.grid();
+        let midtown = g.region_of(Point::new(-73.985, 40.755));
+        let edge = g.region_of(Point::new(-73.78, 40.90));
+        let w = p.origin_weights(26); // 13:00, balanced mix
+        assert!(
+            w[midtown.idx()] > 10.0 * w[edge.idx()],
+            "midtown {} vs edge {}",
+            w[midtown.idx()],
+            w[edge.idx()]
+        );
+    }
+
+    #[test]
+    fn morning_destinations_tilt_into_the_core() {
+        let p = profile();
+        let g = p.grid();
+        let midtown = g.region_of(Point::new(-73.985, 40.755)).idx();
+        let dest_am = p.dest_weights(16); // 08:00
+        let orig_am = p.origin_weights(16);
+        assert!(
+            dest_am[midtown] > orig_am[midtown],
+            "morning core dest {} <= origin {}",
+            dest_am[midtown],
+            orig_am[midtown]
+        );
+        // Evening reverses the tilt.
+        let dest_pm = p.dest_weights(37); // 18:30
+        let orig_pm = p.origin_weights(37);
+        assert!(dest_pm[midtown] < orig_pm[midtown]);
+    }
+
+    #[test]
+    fn weights_are_normalized_distributions() {
+        let p = profile();
+        for slot in [0, 16, 26, 37, 44] {
+            let o = p.origin_weights(slot);
+            let d = p.dest_weights(slot);
+            assert!((o.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(o.iter().all(|&x| x >= 0.0));
+            assert!(d.iter().all(|&x| x >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Multi-day demand count tensors.
+//!
+//! A [`DemandSeries`] holds order counts per `(day, slot, region)` — the
+//! training/evaluation format of the prediction models (the paper trains
+//! on ~5 months of 30-minute slot counts, its Table 5).
+
+use mrvd_spatial::Grid;
+
+use crate::trip::TripRecord;
+use crate::{DAY_MS, SLOT_MS};
+
+/// Order counts (or predicted counts) indexed by `(day, slot, region)`.
+///
+/// Stored as `f64` so predictions and ground truth share the type; counted
+/// data always holds integers.
+#[derive(Debug, Clone)]
+pub struct DemandSeries {
+    days: usize,
+    slots_per_day: usize,
+    regions: usize,
+    data: Vec<f64>,
+}
+
+impl DemandSeries {
+    /// A zero-filled series.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn zeros(days: usize, slots_per_day: usize, regions: usize) -> Self {
+        assert!(
+            days > 0 && slots_per_day > 0 && regions > 0,
+            "DemandSeries: dimensions must be positive"
+        );
+        Self {
+            days,
+            slots_per_day,
+            regions,
+            data: vec![0.0; days * slots_per_day * regions],
+        }
+    }
+
+    /// Builds a series by evaluating `f(day, slot, region)`.
+    pub fn from_fn(
+        days: usize,
+        slots_per_day: usize,
+        regions: usize,
+        mut f: impl FnMut(usize, usize, usize) -> f64,
+    ) -> Self {
+        let mut s = Self::zeros(days, slots_per_day, regions);
+        for d in 0..days {
+            for t in 0..slots_per_day {
+                for r in 0..regions {
+                    let v = f(d, t, r);
+                    s.set(d, t, r, v);
+                }
+            }
+        }
+        s
+    }
+
+    /// Number of days.
+    pub fn days(&self) -> usize {
+        self.days
+    }
+
+    /// Slots per day.
+    pub fn slots_per_day(&self) -> usize {
+        self.slots_per_day
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.regions
+    }
+
+    /// Total slots across all days.
+    pub fn total_slots(&self) -> usize {
+        self.days * self.slots_per_day
+    }
+
+    fn index(&self, day: usize, slot: usize, region: usize) -> usize {
+        assert!(day < self.days, "DemandSeries: day {day} out of range");
+        assert!(
+            slot < self.slots_per_day,
+            "DemandSeries: slot {slot} out of range"
+        );
+        assert!(
+            region < self.regions,
+            "DemandSeries: region {region} out of range"
+        );
+        (day * self.slots_per_day + slot) * self.regions + region
+    }
+
+    /// Count at `(day, slot, region)`.
+    pub fn get(&self, day: usize, slot: usize, region: usize) -> f64 {
+        self.data[self.index(day, slot, region)]
+    }
+
+    /// Sets the count at `(day, slot, region)`.
+    pub fn set(&mut self, day: usize, slot: usize, region: usize, v: f64) {
+        let i = self.index(day, slot, region);
+        self.data[i] = v;
+    }
+
+    /// Adds to the count at `(day, slot, region)`.
+    pub fn add(&mut self, day: usize, slot: usize, region: usize, v: f64) {
+        let i = self.index(day, slot, region);
+        self.data[i] += v;
+    }
+
+    /// The per-region frame of one `(day, slot)`.
+    pub fn frame(&self, day: usize, slot: usize) -> &[f64] {
+        let start = self.index(day, slot, 0);
+        &self.data[start..start + self.regions]
+    }
+
+    /// Count at a *global* slot index (`day * slots_per_day + slot`).
+    pub fn get_flat(&self, global_slot: usize, region: usize) -> f64 {
+        let day = global_slot / self.slots_per_day;
+        let slot = global_slot % self.slots_per_day;
+        self.get(day, slot, region)
+    }
+
+    /// Sum over all cells.
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Largest cell value (used to normalize neural-network inputs).
+    pub fn max_value(&self) -> f64 {
+        self.data.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Sum over regions for one `(day, slot)`.
+    pub fn slot_total(&self, day: usize, slot: usize) -> f64 {
+        self.frame(day, slot).iter().sum()
+    }
+}
+
+/// Counts realized trips of one day into a single-day [`DemandSeries`]
+/// (the "Real" demand that the paper's IRG-R/LS-R variants consume).
+///
+/// # Panics
+/// Panics if any trip's `request_ms` falls outside the day.
+pub fn count_trips(trips: &[TripRecord], grid: &Grid) -> DemandSeries {
+    let slots = (DAY_MS / SLOT_MS) as usize;
+    let mut s = DemandSeries::zeros(1, slots, grid.num_regions());
+    for t in trips {
+        assert!(
+            t.request_ms < DAY_MS,
+            "count_trips: trip {} outside the day ({} ms)",
+            t.id,
+            t.request_ms
+        );
+        let slot = (t.request_ms / SLOT_MS) as usize;
+        let region = grid.region_of(t.pickup).idx();
+        s.add(0, slot, region, 1.0);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrvd_spatial::Point;
+
+    #[test]
+    fn round_trip_get_set() {
+        let mut s = DemandSeries::zeros(2, 48, 4);
+        s.set(1, 47, 3, 9.0);
+        assert_eq!(s.get(1, 47, 3), 9.0);
+        assert_eq!(s.get(0, 0, 0), 0.0);
+        assert_eq!(s.total(), 9.0);
+        assert_eq!(s.get_flat(48 + 47, 3), 9.0);
+    }
+
+    #[test]
+    fn frame_is_the_region_row() {
+        let mut s = DemandSeries::zeros(1, 2, 3);
+        s.set(0, 1, 0, 1.0);
+        s.set(0, 1, 1, 2.0);
+        s.set(0, 1, 2, 3.0);
+        assert_eq!(s.frame(0, 1), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.slot_total(0, 1), 6.0);
+        assert_eq!(s.max_value(), 3.0);
+    }
+
+    #[test]
+    fn count_trips_buckets_by_slot_and_region() {
+        let grid = Grid::nyc_16x16();
+        let p_mid = Point::new(-73.985, 40.755);
+        let trips = vec![
+            TripRecord {
+                id: 0,
+                request_ms: 0,
+                pickup: p_mid,
+                dropoff: p_mid,
+            },
+            TripRecord {
+                id: 1,
+                request_ms: SLOT_MS - 1,
+                pickup: p_mid,
+                dropoff: p_mid,
+            },
+            TripRecord {
+                id: 2,
+                request_ms: SLOT_MS,
+                pickup: p_mid,
+                dropoff: p_mid,
+            },
+        ];
+        let s = count_trips(&trips, &grid);
+        let r = grid.region_of(p_mid).idx();
+        assert_eq!(s.get(0, 0, r), 2.0);
+        assert_eq!(s.get(0, 1, r), 1.0);
+        assert_eq!(s.total(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let s = DemandSeries::zeros(1, 2, 3);
+        s.get(0, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the day")]
+    fn trip_outside_day_panics() {
+        let grid = Grid::nyc_16x16();
+        let p = Point::new(-73.985, 40.755);
+        let trips = vec![TripRecord {
+            id: 0,
+            request_ms: DAY_MS,
+            pickup: p,
+            dropoff: p,
+        }];
+        count_trips(&trips, &grid);
+    }
+}

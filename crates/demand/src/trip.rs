@@ -1,0 +1,48 @@
+//! Ride orders.
+
+use mrvd_spatial::Point;
+
+/// One ride order — the paper's rider `r_i` with posting time `t_i`,
+/// source `s_i` and destination `e_i`. The pickup deadline `τ_i` is
+//  attached later by the simulator (base wait + uniform noise, §6.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TripRecord {
+    /// Unique order id.
+    pub id: u64,
+    /// Posting timestamp `t_i`, milliseconds since the start of the day.
+    pub request_ms: u64,
+    /// Pickup location `s_i`.
+    pub pickup: Point,
+    /// Destination `e_i`.
+    pub dropoff: Point,
+}
+
+impl TripRecord {
+    /// Straight-line trip length in meters.
+    pub fn distance_m(&self) -> f64 {
+        self.pickup.distance_m(&self.dropoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_in_endpoints() {
+        let t = TripRecord {
+            id: 1,
+            request_ms: 0,
+            pickup: Point::new(-74.0, 40.7),
+            dropoff: Point::new(-73.9, 40.8),
+        };
+        let rev = TripRecord {
+            id: 2,
+            request_ms: 0,
+            pickup: t.dropoff,
+            dropoff: t.pickup,
+        };
+        assert!((t.distance_m() - rev.distance_m()).abs() < 1e-9);
+        assert!(t.distance_m() > 0.0);
+    }
+}

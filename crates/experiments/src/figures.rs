@@ -1,0 +1,395 @@
+//! The paper's figures: 5 (order density), 6 (predicted vs real idle),
+//! 7–10 (parameter sweeps), 13 (served orders with SHORT).
+
+use serde_json::json;
+
+use crate::common::{
+    dump_json, parallel_map, print_table, run_cell, run_one, CellResult, ModelKind, OracleKind,
+    PolicySpec, RunCfg, World,
+};
+
+/// The eight online approaches plotted in Figures 7–10
+/// (UPPER is appended only for Figure 7, as in the paper).
+fn sweep_specs() -> Vec<PolicySpec> {
+    vec![
+        PolicySpec::Rand,
+        PolicySpec::Ltg,
+        PolicySpec::Near,
+        PolicySpec::Polar(OracleKind::Pred(ModelKind::DeepSt)),
+        PolicySpec::Irg(OracleKind::Pred(ModelKind::DeepSt)),
+        PolicySpec::Irg(OracleKind::Real),
+        PolicySpec::Ls(OracleKind::Pred(ModelKind::DeepSt)),
+        PolicySpec::Ls(OracleKind::Real),
+    ]
+}
+
+/// A generic parameter sweep over `(spec, value)` cells.
+struct Sweep {
+    param: &'static str,
+    value_labels: Vec<String>,
+    specs: Vec<PolicySpec>,
+    /// `cells[spec][value]`.
+    cells: Vec<Vec<CellResult>>,
+}
+
+impl Sweep {
+    fn run(
+        world: &World,
+        param: &'static str,
+        specs: Vec<PolicySpec>,
+        values: Vec<(String, RunCfg)>,
+        reuse_param_independent: bool,
+    ) -> Sweep {
+        // Enumerate jobs; specs that don't depend on the parameter run
+        // only for the first value and are copied across.
+        let mut jobs = Vec::new();
+        for (si, spec) in specs.iter().enumerate() {
+            let independent = reuse_param_independent && !spec.depends_on_tc();
+            for (vi, (_, cfg)) in values.iter().enumerate() {
+                if independent && vi > 0 {
+                    continue;
+                }
+                jobs.push((si, vi, *spec, cfg.clone()));
+            }
+        }
+        let results = parallel_map(jobs, world.opts.threads, |(si, vi, spec, cfg)| {
+            (*si, *vi, run_cell(world, *spec, cfg))
+        });
+        let placeholder = CellResult {
+            label: String::new(),
+            revenue: f64::NAN,
+            served: f64::NAN,
+            reneged: f64::NAN,
+            batch_time_s: f64::NAN,
+        };
+        let mut cells = vec![vec![placeholder; values.len()]; specs.len()];
+        for (si, vi, cell) in results {
+            cells[si][vi] = cell;
+        }
+        // Copy parameter-independent results across the row.
+        for (si, spec) in specs.iter().enumerate() {
+            if reuse_param_independent && !spec.depends_on_tc() {
+                let first = cells[si][0].clone();
+                for vi in 1..values.len() {
+                    cells[si][vi] = first.clone();
+                }
+            }
+        }
+        Sweep {
+            param,
+            value_labels: values.into_iter().map(|(l, _)| l).collect(),
+            specs,
+            cells,
+        }
+    }
+
+    fn print(&self, title: &str, metric: &str, f: impl Fn(&CellResult) -> String) {
+        let mut headers: Vec<String> = vec![format!("{} \\ {}", metric, self.param)];
+        headers.extend(self.value_labels.iter().cloned());
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = self
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(si, spec)| {
+                let mut row = vec![spec.label()];
+                row.extend(self.cells[si].iter().map(&f));
+                row
+            })
+            .collect();
+        print_table(title, &header_refs, &rows);
+    }
+
+    fn to_json(&self) -> serde_json::Value {
+        json!({
+            "param": self.param,
+            "values": self.value_labels,
+            "series": self.specs.iter().enumerate().map(|(si, spec)| json!({
+                "policy": spec.label(),
+                "revenue": self.cells[si].iter().map(|c| c.revenue).collect::<Vec<_>>(),
+                "served": self.cells[si].iter().map(|c| c.served).collect::<Vec<_>>(),
+                "reneged": self.cells[si].iter().map(|c| c.reneged).collect::<Vec<_>>(),
+                "batch_time_s": self.cells[si].iter().map(|c| c.batch_time_s).collect::<Vec<_>>(),
+            })).collect::<Vec<_>>(),
+        })
+    }
+}
+
+/// Figure 7: effect of the fleet size `n` (revenue + batch time), with
+/// the UPPER bound included as in the paper's 7(a).
+pub fn fig7(world: &World) {
+    let mut specs = sweep_specs();
+    specs.push(PolicySpec::Upper);
+    let values: Vec<(String, RunCfg)> = [1_000usize, 2_000, 3_000, 4_000, 5_000]
+        .into_iter()
+        .map(|paper_n| {
+            (
+                format!("{}K", paper_n / 1000),
+                RunCfg::defaults(world.opts.drivers(paper_n), 0),
+            )
+        })
+        .collect();
+    let sweep = Sweep::run(world, "n", specs, values, false);
+    sweep.print("Figure 7(a) — total revenue vs number of drivers", "revenue", |c| {
+        format!("{:.0}", c.revenue)
+    });
+    sweep.print("Figure 7(b) — batch running time (ms) vs n", "batch", |c| {
+        format!("{:.2}", c.batch_time_s * 1000.0)
+    });
+    dump_json(&world.opts, "fig7", sweep.to_json());
+}
+
+/// Figure 8: effect of the batch interval Δ.
+pub fn fig8(world: &World) {
+    let n = world.opts.drivers(3_000);
+    let values: Vec<(String, RunCfg)> = [3_000u64, 5_000, 10_000, 20_000, 30_000]
+        .into_iter()
+        .map(|delta| {
+            let mut cfg = RunCfg::defaults(n, 0);
+            cfg.delta_ms = delta;
+            (format!("{}s", delta / 1000), cfg)
+        })
+        .collect();
+    let sweep = Sweep::run(world, "Δ", sweep_specs(), values, false);
+    sweep.print("Figure 8(a) — total revenue vs batch interval Δ", "revenue", |c| {
+        format!("{:.0}", c.revenue)
+    });
+    sweep.print("Figure 8(b) — batch running time (ms) vs Δ", "batch", |c| {
+        format!("{:.2}", c.batch_time_s * 1000.0)
+    });
+    dump_json(&world.opts, "fig8", sweep.to_json());
+}
+
+/// Figure 9: effect of the scheduling window `t_c` (LTG/NEAR/RAND do not
+/// depend on it and are reused across the row, as the paper notes).
+pub fn fig9(world: &World) {
+    let n = world.opts.drivers(3_000);
+    let values: Vec<(String, RunCfg)> = [5u64, 10, 15, 20, 40, 60, 80, 100]
+        .into_iter()
+        .map(|mins| {
+            let mut cfg = RunCfg::defaults(n, 0);
+            cfg.tc_ms = mins * 60 * 1000;
+            (format!("{mins}m"), cfg)
+        })
+        .collect();
+    let sweep = Sweep::run(world, "t_c", sweep_specs(), values, true);
+    sweep.print("Figure 9(a) — total revenue vs time window t_c", "revenue", |c| {
+        format!("{:.0}", c.revenue)
+    });
+    sweep.print("Figure 9(b) — batch running time (ms) vs t_c", "batch", |c| {
+        format!("{:.2}", c.batch_time_s * 1000.0)
+    });
+    dump_json(&world.opts, "fig9", sweep.to_json());
+}
+
+/// Figure 10: effect of the base pickup waiting time τ.
+pub fn fig10(world: &World) {
+    let n = world.opts.drivers(3_000);
+    let values: Vec<(String, RunCfg)> = [60u64, 120, 180, 240, 300]
+        .into_iter()
+        .map(|secs| {
+            let mut cfg = RunCfg::defaults(n, 0);
+            cfg.base_wait_ms = secs * 1000;
+            (format!("{secs}s"), cfg)
+        })
+        .collect();
+    let sweep = Sweep::run(world, "τ", sweep_specs(), values, false);
+    sweep.print("Figure 10(a) — total revenue vs base waiting time τ", "revenue", |c| {
+        format!("{:.0}", c.revenue)
+    });
+    sweep.print("Figure 10(b) — batch running time (ms) vs τ", "batch", |c| {
+        format!("{:.2}", c.batch_time_s * 1000.0)
+    });
+    dump_json(&world.opts, "fig10", sweep.to_json());
+}
+
+/// The four approaches of Figure 13 (served-orders objective).
+fn fig13_specs() -> Vec<PolicySpec> {
+    vec![
+        PolicySpec::Rand,
+        PolicySpec::Near,
+        PolicySpec::Polar(OracleKind::Pred(ModelKind::DeepSt)),
+        PolicySpec::Short(OracleKind::Pred(ModelKind::DeepSt)),
+    ]
+}
+
+/// Figure 13: number of served orders for SHORT vs baselines over the
+/// four parameter sweeps.
+pub fn fig13(world: &World) {
+    let n3 = world.opts.drivers(3_000);
+    // (a) drivers.
+    let values: Vec<(String, RunCfg)> = [1_000usize, 2_000, 3_000, 4_000, 5_000]
+        .into_iter()
+        .map(|p| (format!("{}K", p / 1000), RunCfg::defaults(world.opts.drivers(p), 0)))
+        .collect();
+    let a = Sweep::run(world, "n", fig13_specs(), values, false);
+    a.print("Figure 13(a) — served orders vs n", "served", |c| {
+        format!("{:.0}", c.served)
+    });
+    // (b) t_c.
+    let values: Vec<(String, RunCfg)> = [5u64, 10, 15, 20, 40, 60, 80, 100]
+        .into_iter()
+        .map(|m| {
+            let mut cfg = RunCfg::defaults(n3, 0);
+            cfg.tc_ms = m * 60 * 1000;
+            (format!("{m}m"), cfg)
+        })
+        .collect();
+    let b = Sweep::run(world, "t_c", fig13_specs(), values, true);
+    b.print("Figure 13(b) — served orders vs t_c", "served", |c| {
+        format!("{:.0}", c.served)
+    });
+    // (c) Δ.
+    let values: Vec<(String, RunCfg)> = [3_000u64, 5_000, 10_000, 20_000, 30_000]
+        .into_iter()
+        .map(|d| {
+            let mut cfg = RunCfg::defaults(n3, 0);
+            cfg.delta_ms = d;
+            (format!("{}s", d / 1000), cfg)
+        })
+        .collect();
+    let c = Sweep::run(world, "Δ", fig13_specs(), values, false);
+    c.print("Figure 13(c) — served orders vs Δ", "served", |cell| {
+        format!("{:.0}", cell.served)
+    });
+    // (d) τ.
+    let values: Vec<(String, RunCfg)> = [60u64, 120, 180, 240, 300]
+        .into_iter()
+        .map(|t| {
+            let mut cfg = RunCfg::defaults(n3, 0);
+            cfg.base_wait_ms = t * 1000;
+            (format!("{t}s"), cfg)
+        })
+        .collect();
+    let d = Sweep::run(world, "τ", fig13_specs(), values, false);
+    d.print("Figure 13(d) — served orders vs τ", "served", |c| {
+        format!("{:.0}", c.served)
+    });
+    dump_json(
+        &world.opts,
+        "fig13",
+        json!({ "a": a.to_json(), "b": b.to_json(), "c": c.to_json(), "d": d.to_json() }),
+    );
+}
+
+/// Figure 5: spatial distribution of pickups 8:00–8:45 A.M. as a 16×16
+/// ASCII density map (darker = denser).
+pub fn fig5(world: &World) {
+    let grid = &world.grid;
+    let mut counts = vec![0u64; grid.num_regions()];
+    let (start, end) = (8 * 3_600_000u64, 8 * 3_600_000 + 45 * 60_000);
+    for t in &world.trips {
+        if t.request_ms >= start && t.request_ms < end {
+            counts[grid.region_of(t.pickup).idx()] += 1;
+        }
+    }
+    let peak = *counts.iter().max().unwrap_or(&1) as f64;
+    println!("\n== Figure 5 — pickup density 8:00–8:45 (row 0 = south) ==");
+    const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    for row in (0..grid.rows()).rev() {
+        let mut line = String::new();
+        for col in 0..grid.cols() {
+            let id = grid.at(col as i64, row as i64).expect("in range");
+            let c = counts[id.idx()] as f64;
+            let shade = ((c / peak) * 9.0).round() as usize;
+            line.push(SHADES[shade.min(9)]);
+            line.push(SHADES[shade.min(9)]);
+        }
+        println!("|{line}|");
+    }
+    println!("peak cell: {peak} pickups in 45 min");
+    dump_json(&world.opts, "fig5", json!({ "counts": counts }));
+}
+
+/// Figure 6: per-region mean predicted vs real idle time, as two aligned
+/// 16×16 maps plus the global correlation.
+pub fn fig6(world: &World) {
+    let n = world.opts.drivers(3_000);
+    let mut est_sum = vec![0.0f64; world.grid.num_regions()];
+    let mut real_sum = vec![0.0f64; world.grid.num_regions()];
+    let mut count = vec![0u64; world.grid.num_regions()];
+    for i in 0..world.opts.instances {
+        let res = run_one(
+            world,
+            PolicySpec::Irg(OracleKind::Pred(ModelKind::DeepSt)),
+            &RunCfg::defaults(n, i),
+        );
+        for (region, e, r) in res.idle_estimate_pairs_by_region() {
+            // Same window-censoring protocol as Table 3 (see tables.rs).
+            if r > 900.0 {
+                continue;
+            }
+            est_sum[region.idx()] += e.min(900.0);
+            real_sum[region.idx()] += r;
+            count[region.idx()] += 1;
+        }
+    }
+    let render = |title: &str, sums: &[f64]| {
+        println!("\n== Figure 6 — {title} idle time per region (s; row 0 = south) ==");
+        const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let peak = sums
+            .iter()
+            .zip(&count)
+            .filter(|(_, &c)| c > 0)
+            .map(|(s, &c)| s / c as f64)
+            .fold(1.0f64, f64::max);
+        for row in (0..world.grid.rows()).rev() {
+            let mut line = String::new();
+            for col in 0..world.grid.cols() {
+                let id = world.grid.at(col as i64, row as i64).expect("in range");
+                let v = if count[id.idx()] > 0 {
+                    sums[id.idx()] / count[id.idx()] as f64
+                } else {
+                    0.0
+                };
+                let shade = ((v / peak) * 9.0).round() as usize;
+                line.push(SHADES[shade.min(9)]);
+                line.push(SHADES[shade.min(9)]);
+            }
+            println!("|{line}|");
+        }
+        println!("peak mean: {peak:.0} s");
+    };
+    render("predicted", &est_sum);
+    render("real", &real_sum);
+    // Global agreement across regions with data.
+    let mut est_means = Vec::new();
+    let mut real_means = Vec::new();
+    for k in 0..count.len() {
+        if count[k] >= 5 {
+            est_means.push(est_sum[k] / count[k] as f64);
+            real_means.push(real_sum[k] / count[k] as f64);
+        }
+    }
+    let corr = pearson(&est_means, &real_means);
+    println!(
+        "\nregions with ≥5 samples: {}; Pearson correlation predicted↔real: {corr:.3}",
+        est_means.len()
+    );
+    dump_json(
+        &world.opts,
+        "fig6",
+        json!({
+            "est_mean": est_means, "real_mean": real_means, "pearson": corr,
+        }),
+    );
+}
+
+/// Pearson correlation coefficient.
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.len() < 2 {
+        return f64::NAN;
+    }
+    let n = a.len() as f64;
+    let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..a.len() {
+        cov += (a[i] - ma) * (b[i] - mb);
+        va += (a[i] - ma).powi(2);
+        vb += (b[i] - mb).powi(2);
+    }
+    cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+}

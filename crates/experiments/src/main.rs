@@ -1,0 +1,123 @@
+//! `mrvd-experiments` — regenerates every table and figure of the
+//! paper's evaluation (see DESIGN.md §4 for the experiment index).
+//!
+//! ```text
+//! mrvd-experiments <command> [--scale F] [--instances N] [--seed S]
+//!                            [--threads T] [--nn-epochs E] [--out DIR]
+//!
+//! commands:
+//!   table3   idle-time estimation accuracy (drivers 1K–8K)
+//!   table4   prediction method × policy revenue
+//!   table6   demand-prediction accuracy (HA/LR/GBRT/DeepST/DeepST-GC)
+//!   table7   chi-square Poisson test of order arrivals
+//!   table8   chi-square Poisson test of rejoined-driver arrivals
+//!   fig5     pickup density map 8:00–8:45
+//!   fig6     predicted vs real idle time per region
+//!   fig7     revenue & batch time vs number of drivers
+//!   fig8     revenue & batch time vs batch interval Δ
+//!   fig9     revenue & batch time vs scheduling window t_c
+//!   fig10    revenue & batch time vs base waiting time τ
+//!   fig11    observed-vs-expected order histograms (with table7)
+//!   fig12    observed-vs-expected driver histograms (with table8)
+//!   fig13    served orders: SHORT vs baselines over four sweeps
+//!   ablation destination-aware ET vs uniform ET
+//!   all      everything above
+//! ```
+//!
+//! `--scale 1.0` reproduces the paper's 282,255-order day with 1K–8K
+//! drivers; the default 0.25 keeps a full `all` run laptop-sized. Revenue
+//! tables print scale-normalized values (divided by the scale) next to
+//! the paper's numbers where the paper reports exact values.
+
+mod common;
+mod figures;
+mod tables;
+
+use common::{Options, World};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mrvd-experiments <table3|table4|table6|table7|table8|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablation|all> \
+         [--scale F] [--instances N] [--seed S] [--threads T] [--nn-epochs E] [--out DIR]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> (String, Options) {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else { usage() };
+    let mut opts = Options::default();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--scale" => opts.scale = value("--scale").parse().expect("--scale takes a float"),
+            "--instances" => {
+                opts.instances = value("--instances").parse().expect("--instances takes an int")
+            }
+            "--seed" => opts.seed = value("--seed").parse().expect("--seed takes an int"),
+            "--threads" => {
+                opts.threads = value("--threads").parse().expect("--threads takes an int")
+            }
+            "--nn-epochs" => {
+                opts.nn_epochs = value("--nn-epochs").parse().expect("--nn-epochs takes an int")
+            }
+            "--out" => opts.out_dir = value("--out"),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    assert!(opts.scale > 0.0 && opts.scale <= 1.0, "--scale must be in (0, 1]");
+    assert!(opts.instances >= 1, "--instances must be ≥ 1");
+    (cmd, opts)
+}
+
+fn main() {
+    let (cmd, opts) = parse_args();
+    println!(
+        "# mrvd-experiments {cmd} — scale {}, instances {}, seed {}, threads {}",
+        opts.scale, opts.instances, opts.seed, opts.threads
+    );
+    let t0 = std::time::Instant::now();
+    let world = World::build(&opts);
+    match cmd.as_str() {
+        "table3" => tables::table3(&world),
+        "table4" => tables::table4(&world),
+        "table6" => tables::table6(&world),
+        "table7" => tables::table7_8(&world, false, false),
+        "table8" => tables::table7_8(&world, true, false),
+        "fig5" => figures::fig5(&world),
+        "fig6" => figures::fig6(&world),
+        "fig7" => figures::fig7(&world),
+        "fig8" => figures::fig8(&world),
+        "fig9" => figures::fig9(&world),
+        "fig10" => figures::fig10(&world),
+        "fig11" => tables::table7_8(&world, false, true),
+        "fig12" => tables::table7_8(&world, true, true),
+        "fig13" => figures::fig13(&world),
+        "ablation" => tables::ablation(&world),
+        "all" => {
+            tables::table6(&world);
+            tables::table7_8(&world, false, true);
+            tables::table7_8(&world, true, true);
+            figures::fig5(&world);
+            tables::table3(&world);
+            figures::fig6(&world);
+            tables::table4(&world);
+            figures::fig7(&world);
+            figures::fig8(&world);
+            figures::fig9(&world);
+            figures::fig10(&world);
+            figures::fig13(&world);
+            tables::ablation(&world);
+        }
+        _ => usage(),
+    }
+    println!("\n# done in {:.1}s", t0.elapsed().as_secs_f64());
+}

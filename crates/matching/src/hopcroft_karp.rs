@@ -1,0 +1,164 @@
+//! Maximum-cardinality bipartite matching (Hopcroft–Karp, O(E·√V)).
+//!
+//! Used to bound how many riders could possibly be picked up in a batch —
+//! a capacity check independent of weights — and as a correctness oracle
+//! for the cardinality of the weighted matchers under unit weights.
+
+use crate::Matching;
+
+const NIL: usize = usize::MAX;
+
+/// Maximum-cardinality matching over an adjacency list
+/// (`adj[l]` = right neighbours of left vertex `l`).
+///
+/// The returned [`Matching`] has `total_weight` equal to its cardinality
+/// (each matched edge counts 1).
+///
+/// # Panics
+/// Panics if an adjacency entry is out of range.
+pub fn hopcroft_karp(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> Matching {
+    assert_eq!(adj.len(), n_left, "hopcroft_karp: adjacency size mismatch");
+    for neigh in adj {
+        for &r in neigh {
+            assert!(r < n_right, "hopcroft_karp: right vertex {r} out of range");
+        }
+    }
+    let mut match_l = vec![NIL; n_left];
+    let mut match_r = vec![NIL; n_right];
+    let mut dist = vec![0usize; n_left];
+
+    // BFS layering from free left vertices; returns whether an augmenting
+    // path exists.
+    fn bfs(
+        adj: &[Vec<usize>],
+        match_l: &[usize],
+        match_r: &[usize],
+        dist: &mut [usize],
+    ) -> bool {
+        let mut queue = std::collections::VecDeque::new();
+        for (l, &m) in match_l.iter().enumerate() {
+            if m == NIL {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = usize::MAX;
+            }
+        }
+        let mut found = false;
+        while let Some(l) = queue.pop_front() {
+            for &r in &adj[l] {
+                let next = match_r[r];
+                if next == NIL {
+                    found = true;
+                } else if dist[next] == usize::MAX {
+                    dist[next] = dist[l] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        found
+    }
+
+    fn dfs(
+        l: usize,
+        adj: &[Vec<usize>],
+        match_l: &mut [usize],
+        match_r: &mut [usize],
+        dist: &mut [usize],
+    ) -> bool {
+        for i in 0..adj[l].len() {
+            let r = adj[l][i];
+            let next = match_r[r];
+            if next == NIL || (dist[next] == dist[l] + 1 && dfs(next, adj, match_l, match_r, dist))
+            {
+                match_l[l] = r;
+                match_r[r] = l;
+                return true;
+            }
+        }
+        dist[l] = usize::MAX;
+        false
+    }
+
+    while bfs(adj, &match_l, &match_r, &mut dist) {
+        for l in 0..n_left {
+            if match_l[l] == NIL {
+                dfs(l, adj, &mut match_l, &mut match_r, &mut dist);
+            }
+        }
+    }
+
+    let mut m = Matching::empty(n_left, n_right);
+    for (l, &r) in match_l.iter().enumerate() {
+        if r != NIL {
+            m.left_to_right[l] = Some(r);
+            m.right_to_left[r] = Some(l);
+            m.total_weight += 1.0;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hungarian::max_weight_matching;
+    use proptest::prelude::{prop_assert, prop_assert_eq, proptest};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn perfect_matching_on_complete_graph() {
+        let adj: Vec<Vec<usize>> = (0..4).map(|_| (0..4).collect()).collect();
+        let m = hopcroft_karp(4, 4, &adj);
+        assert_eq!(m.cardinality(), 4);
+        assert!(m.is_consistent());
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // l0–r0, l1–{r0,r1}: naive greedy l0→r0 then l1→r1 works; but
+        // l0–r0, l1–r0 only: max matching is 1.
+        let adj = vec![vec![0], vec![0, 1]];
+        assert_eq!(hopcroft_karp(2, 2, &adj).cardinality(), 2);
+        let adj = vec![vec![0], vec![0]];
+        assert_eq!(hopcroft_karp(2, 2, &adj).cardinality(), 1);
+    }
+
+    #[test]
+    fn zigzag_requires_augmentation() {
+        // l0:{r0,r1} l1:{r0} l2:{r1,r2} — maximum is 3 but a bad greedy
+        // (l0→r0, l2→r1) would strand l1.
+        let adj = vec![vec![0, 1], vec![0], vec![1, 2]];
+        assert_eq!(hopcroft_karp(3, 3, &adj).cardinality(), 3);
+    }
+
+    #[test]
+    fn empty_graphs() {
+        assert_eq!(hopcroft_karp(0, 0, &[]).cardinality(), 0);
+        let adj = vec![vec![], vec![]];
+        assert_eq!(hopcroft_karp(2, 3, &adj).cardinality(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn cardinality_matches_unit_weight_hungarian(seed in 0u64..150) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(1..=9usize);
+            let m = rng.gen_range(1..=9usize);
+            let mut adj = vec![Vec::new(); n];
+            let mut edges = Vec::new();
+            for (l, neigh) in adj.iter_mut().enumerate() {
+                for r in 0..m {
+                    if rng.gen_bool(0.4) {
+                        neigh.push(r);
+                        edges.push((l, r, 1.0));
+                    }
+                }
+            }
+            let hk = hopcroft_karp(n, m, &adj);
+            let km = max_weight_matching(n, m, &edges);
+            prop_assert_eq!(hk.cardinality(), km.cardinality());
+            prop_assert!(hk.is_consistent());
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Exact maximum-weight bipartite matching (Kuhn–Munkres with potentials).
+//!
+//! The classical O(n³) Hungarian algorithm over a dense weight matrix.
+//! Maximum-weight *matching* (vertices may stay unmatched) is reduced to
+//! maximum-weight *perfect* matching by padding the matrix to a square with
+//! zero-weight dummy cells; this is exact because all real weights are
+//! non-negative. POLAR uses this for its offline region-level blueprint
+//! (the matrix side is the region count, so O(n³) is cheap); tests use it
+//! as the optimality oracle for the greedy algorithms.
+
+use crate::{Edge, Matching};
+
+/// Maximum-weight matching over a dense rectangular weight matrix
+/// (`weights[l][r]` ≥ 0; use 0 for "no edge").
+///
+/// Matched pairs whose weight is exactly 0 are reported as unmatched, so
+/// "no edge" and "worthless edge" are interchangeable.
+///
+/// # Panics
+/// Panics if rows have inconsistent lengths or any weight is negative or
+/// non-finite.
+pub fn kuhn_munkres_dense(weights: &[Vec<f64>]) -> Matching {
+    let n_left = weights.len();
+    let n_right = weights.first().map_or(0, Vec::len);
+    for row in weights {
+        assert_eq!(row.len(), n_right, "kuhn_munkres: ragged weight matrix");
+        for &w in row {
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "kuhn_munkres: weights must be finite and non-negative, got {w}"
+            );
+        }
+    }
+    if n_left == 0 || n_right == 0 {
+        return Matching::empty(n_left, n_right);
+    }
+    // Pad to a square of side s; costs are negated weights so the
+    // min-cost perfect assignment is the max-weight matching.
+    let s = n_left.max(n_right);
+    let cost = |i: usize, j: usize| -> f64 {
+        if i < n_left && j < n_right {
+            -weights[i][j]
+        } else {
+            0.0
+        }
+    };
+
+    // e-maxx formulation, 1-indexed with a virtual column 0.
+    let (n, m) = (s, s);
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; m + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if !used[j] {
+                    let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the found path.
+        while j0 != 0 {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+        }
+    }
+
+    let mut matching = Matching::empty(n_left, n_right);
+    for j in 1..=m {
+        let i = p[j];
+        if i == 0 {
+            continue;
+        }
+        let (l, r) = (i - 1, j - 1);
+        if l < n_left && r < n_right && weights[l][r] > 0.0 {
+            matching.left_to_right[l] = Some(r);
+            matching.right_to_left[r] = Some(l);
+            matching.total_weight += weights[l][r];
+        }
+    }
+    matching
+}
+
+/// Maximum edge count for the sparse→dense conversion; beyond this the
+/// dense matrix would dominate memory and the caller should aggregate
+/// first (as POLAR does at region level).
+const DENSE_LIMIT: usize = 4_000_000;
+
+/// Exact maximum-weight matching over a sparse edge list, via the dense
+/// Kuhn–Munkres solver. Parallel edges keep their maximum weight.
+///
+/// # Panics
+/// Panics if `n_left * n_right` exceeds an internal density limit
+/// (4 million cells), if a vertex index is out of range, or if a weight is
+/// negative or non-finite.
+pub fn max_weight_matching(n_left: usize, n_right: usize, edges: &[Edge]) -> Matching {
+    assert!(
+        n_left.saturating_mul(n_right) <= DENSE_LIMIT,
+        "max_weight_matching: instance too large for dense solve ({n_left}×{n_right}); aggregate first"
+    );
+    if n_left == 0 || n_right == 0 {
+        assert!(edges.is_empty(), "max_weight_matching: edges on empty side");
+        return Matching::empty(n_left, n_right);
+    }
+    let mut weights = vec![vec![0.0f64; n_right]; n_left];
+    for &(l, r, w) in edges {
+        assert!(l < n_left, "max_weight_matching: left vertex {l} out of range");
+        assert!(r < n_right, "max_weight_matching: right vertex {r} out of range");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "max_weight_matching: weight must be finite and non-negative, got {w}"
+        );
+        if w > weights[l][r] {
+            weights[l][r] = w;
+        }
+    }
+    kuhn_munkres_dense(&weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_max_weight;
+    use proptest::prelude::{prop_assert, proptest};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// Exhaustive maximum-weight matching for tiny instances.
+    fn brute_force(weights: &[Vec<f64>]) -> f64 {
+        fn rec(weights: &[Vec<f64>], row: usize, used: &mut Vec<bool>) -> f64 {
+            if row == weights.len() {
+                return 0.0;
+            }
+            // Skip this row entirely…
+            let mut best = rec(weights, row + 1, used);
+            // …or match it to any free column.
+            for c in 0..used.len() {
+                if !used[c] && weights[row][c] > 0.0 {
+                    used[c] = true;
+                    best = best.max(weights[row][c] + rec(weights, row + 1, used));
+                    used[c] = false;
+                }
+            }
+            best
+        }
+        let cols = weights.first().map_or(0, Vec::len);
+        rec(weights, 0, &mut vec![false; cols])
+    }
+
+    #[test]
+    fn beats_greedy_on_the_classic_trap() {
+        let w = vec![vec![10.0, 9.0], vec![9.0, 1.0]];
+        let m = kuhn_munkres_dense(&w);
+        assert_eq!(m.total_weight, 18.0); // 9 + 9, not 10 + 1
+        assert!(m.is_consistent());
+    }
+
+    #[test]
+    fn rectangular_matrices_work_both_ways() {
+        let wide = vec![vec![1.0, 5.0, 3.0]];
+        let m = kuhn_munkres_dense(&wide);
+        assert_eq!(m.total_weight, 5.0);
+        assert_eq!(m.left_to_right[0], Some(1));
+
+        let tall = vec![vec![1.0], vec![5.0], vec![3.0]];
+        let m = kuhn_munkres_dense(&tall);
+        assert_eq!(m.total_weight, 5.0);
+        assert_eq!(m.left_to_right, vec![None, Some(0), None]);
+    }
+
+    #[test]
+    fn zero_matrix_matches_nothing() {
+        let w = vec![vec![0.0; 4]; 3];
+        let m = kuhn_munkres_dense(&w);
+        assert_eq!(m.cardinality(), 0);
+        assert_eq!(m.total_weight, 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(kuhn_munkres_dense(&[]).cardinality(), 0);
+        let m = max_weight_matching(0, 5, &[]);
+        assert_eq!(m.right_to_left.len(), 5);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..200 {
+            let r = rng.gen_range(1..=6);
+            let c = rng.gen_range(1..=6);
+            let w: Vec<Vec<f64>> = (0..r)
+                .map(|_| {
+                    (0..c)
+                        .map(|_| {
+                            if rng.gen_bool(0.3) {
+                                0.0
+                            } else {
+                                (rng.gen_range(1..100) as f64) / 7.0
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let km = kuhn_munkres_dense(&w);
+            let bf = brute_force(&w);
+            assert!(
+                (km.total_weight - bf).abs() < 1e-9,
+                "trial {trial}: KM {} vs brute force {bf} on {w:?}",
+                km.total_weight
+            );
+            assert!(km.is_consistent());
+        }
+    }
+
+    #[test]
+    fn sparse_api_keeps_max_parallel_edge() {
+        let edges = vec![(0, 0, 2.0), (0, 0, 7.0), (0, 0, 5.0)];
+        let m = max_weight_matching(1, 1, &edges);
+        assert_eq!(m.total_weight, 7.0);
+    }
+
+    proptest! {
+        #[test]
+        fn optimal_dominates_greedy(seed in 0u64..200) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(1..=8usize);
+            let m = rng.gen_range(1..=8usize);
+            let mut edges = Vec::new();
+            for l in 0..n {
+                for r in 0..m {
+                    if rng.gen_bool(0.5) {
+                        edges.push((l, r, rng.gen_range(0.0..50.0)));
+                    }
+                }
+            }
+            let opt = max_weight_matching(n, m, &edges);
+            let grd = greedy_max_weight(n, m, &edges);
+            prop_assert!(opt.total_weight + 1e-9 >= grd.total_weight);
+            // Greedy is a 1/2-approximation.
+            prop_assert!(2.0 * grd.total_weight + 1e-9 >= opt.total_weight);
+        }
+    }
+}

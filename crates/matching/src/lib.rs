@@ -1,0 +1,77 @@
+//! Bipartite matching substrate.
+//!
+//! The dispatching algorithms need three matching primitives:
+//!
+//! * [`greedy`] — weight-ordered greedy matching, the building block of
+//!   the LTG/NEAR baselines and of POLAR's online phase;
+//! * [`hungarian`] — exact maximum-weight matching (Kuhn–Munkres with
+//!   potentials, O(n³)), used for POLAR's offline region-level blueprint
+//!   and as the optimality oracle in tests and ablations;
+//! * [`hopcroft_karp`](mod@hopcroft_karp) — maximum-cardinality matching (O(E√V)), used to
+//!   upper-bound how many riders can possibly be served in a batch.
+//!
+//! All algorithms operate on 0-based left/right vertex indices and
+//! non-negative edge weights ("unmatched" is encoded as a zero-weight
+//! dummy, which is only correct when real weights are non-negative — the
+//! MRVD weights are travel times or revenues, always ≥ 0).
+
+pub mod greedy;
+pub mod hopcroft_karp;
+pub mod hungarian;
+
+pub use greedy::greedy_max_weight;
+pub use hopcroft_karp::hopcroft_karp;
+pub use hungarian::{kuhn_munkres_dense, max_weight_matching};
+
+/// An edge in a weighted bipartite graph: `(left, right, weight)`.
+pub type Edge = (usize, usize, f64);
+
+/// The result of a matching computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matching {
+    /// For each left vertex, the matched right vertex (if any).
+    pub left_to_right: Vec<Option<usize>>,
+    /// For each right vertex, the matched left vertex (if any).
+    pub right_to_left: Vec<Option<usize>>,
+    /// Sum of the weights of the matched edges.
+    pub total_weight: f64,
+}
+
+impl Matching {
+    /// An empty matching over `n_left` × `n_right` vertices.
+    pub fn empty(n_left: usize, n_right: usize) -> Self {
+        Self {
+            left_to_right: vec![None; n_left],
+            right_to_left: vec![None; n_right],
+            total_weight: 0.0,
+        }
+    }
+
+    /// Number of matched pairs.
+    pub fn cardinality(&self) -> usize {
+        self.left_to_right.iter().flatten().count()
+    }
+
+    /// Iterator over matched `(left, right)` pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.left_to_right
+            .iter()
+            .enumerate()
+            .filter_map(|(l, r)| r.map(|r| (l, r)))
+    }
+
+    /// Checks internal consistency: the two direction maps agree and no
+    /// vertex is matched twice. Used by tests and debug assertions.
+    pub fn is_consistent(&self) -> bool {
+        for (l, r) in self.pairs() {
+            if self.right_to_left.get(r).copied().flatten() != Some(l) {
+                return false;
+            }
+        }
+        let matched_rights: Vec<usize> = self.left_to_right.iter().flatten().copied().collect();
+        let mut dedup = matched_rights.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        dedup.len() == matched_rights.len()
+    }
+}

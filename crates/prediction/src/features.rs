@@ -1,0 +1,82 @@
+//! Lagged-count features shared by HA, LR and GBRT.
+//!
+//! The paper's baseline predictors all consume "the order records in the
+//! previous 15 time slots" (Appendix A); this module extracts those
+//! windows from a [`DemandSeries`], spanning day boundaries via the global
+//! slot index.
+
+use mrvd_demand::DemandSeries;
+
+/// Number of lagged slots fed to HA / LR / GBRT (the paper uses 15).
+pub const LAG_WINDOW: usize = 15;
+
+/// The `LAG_WINDOW` counts preceding global slot `global_slot` for
+/// `region`, oldest first. Slots before the start of the series are
+/// zero-filled (only relevant in the first hours of day 0).
+pub fn lagged_features(series: &DemandSeries, global_slot: usize, region: usize) -> [f64; LAG_WINDOW] {
+    let mut out = [0.0; LAG_WINDOW];
+    for (i, o) in out.iter_mut().enumerate() {
+        let lag = LAG_WINDOW - i; // oldest first
+        if global_slot >= lag {
+            *o = series.get_flat(global_slot - lag, region);
+        }
+    }
+    out
+}
+
+/// Iterates `(features, target, region)` training samples over the first
+/// `train_days` days, skipping the first `LAG_WINDOW` global slots (whose
+/// windows would be zero-padded).
+pub fn training_samples(
+    series: &DemandSeries,
+    train_days: usize,
+) -> impl Iterator<Item = ([f64; LAG_WINDOW], f64, usize)> + '_ {
+    let spd = series.slots_per_day();
+    let regions = series.regions();
+    (LAG_WINDOW..train_days * spd).flat_map(move |gs| {
+        (0..regions).map(move |r| {
+            let x = lagged_features(series, gs, r);
+            let y = series.get_flat(gs, r);
+            (x, y, r)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_series() -> DemandSeries {
+        // Value = global slot index, identical in both regions.
+        DemandSeries::from_fn(2, 10, 2, |d, t, _| (d * 10 + t) as f64)
+    }
+
+    #[test]
+    fn window_is_oldest_first_and_spans_days() {
+        let s = ramp_series();
+        let f = lagged_features(&s, 16, 0);
+        let expect: Vec<f64> = (1..16).map(|x| x as f64).collect();
+        assert_eq!(f.to_vec(), expect);
+    }
+
+    #[test]
+    fn early_slots_zero_fill() {
+        let s = ramp_series();
+        let f = lagged_features(&s, 3, 1);
+        // lags 15..4 missing → zeros; then slots 0,1,2.
+        assert_eq!(&f[..12], &[0.0; 12]);
+        assert_eq!(&f[12..], &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn training_samples_cover_all_regions_and_slots() {
+        let s = ramp_series();
+        let samples: Vec<_> = training_samples(&s, 2).collect();
+        // (2*10 − 15) slots × 2 regions.
+        assert_eq!(samples.len(), 5 * 2);
+        // Targets equal the global slot value.
+        assert!(samples
+            .iter()
+            .all(|(x, y, _)| x[LAG_WINDOW - 1] + 1.0 == *y));
+    }
+}

@@ -1,0 +1,73 @@
+//! Historical Average: the paper's simplest baseline.
+
+use mrvd_demand::DemandSeries;
+
+use crate::features::{lagged_features, LAG_WINDOW};
+use crate::Predictor;
+
+/// Predicts the mean of the previous [`LAG_WINDOW`] slot counts
+/// (Appendix A: "calculates the mean of the order records in the previous
+/// 15 time slots as the next order count"). Stateless — `fit` is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct HistoricalAverage;
+
+impl Predictor for HistoricalAverage {
+    fn name(&self) -> &'static str {
+        "HA"
+    }
+
+    fn fit(&mut self, _series: &DemandSeries, _train_days: usize) {}
+
+    fn predict(&self, series: &DemandSeries, day: usize, slot: usize) -> Vec<f64> {
+        let gs = day * series.slots_per_day() + slot;
+        (0..series.regions())
+            .map(|r| {
+                let x = lagged_features(series, gs, r);
+                x.iter().sum::<f64>() / LAG_WINDOW as f64
+            })
+            .collect()
+    }
+
+    fn clone_box(&self) -> Box<dyn Predictor + Send> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_series_predicts_the_constant() {
+        let s = DemandSeries::from_fn(2, 48, 3, |_, _, _| 7.0);
+        let p = HistoricalAverage;
+        let pred = p.predict(&s, 1, 20);
+        assert_eq!(pred, vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn lags_behind_a_rising_series() {
+        // HA of a ramp underestimates the next value — exactly why it has
+        // the worst RMSE in the paper's Table 6.
+        let s = DemandSeries::from_fn(1, 48, 1, |_, t, _| t as f64);
+        let p = HistoricalAverage;
+        let pred = p.predict(&s, 0, 40)[0];
+        assert!(pred < 40.0);
+        // Mean of 25..=39 is 32.
+        assert!((pred - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn does_not_read_the_future() {
+        let mut s = DemandSeries::from_fn(2, 48, 2, |d, t, r| (d + t + r) as f64);
+        let p = HistoricalAverage;
+        let before = p.predict(&s, 1, 10);
+        // Mutate the target slot and everything after it.
+        for t in 10..48 {
+            for r in 0..2 {
+                s.set(1, t, r, 9_999.0);
+            }
+        }
+        assert_eq!(before, p.predict(&s, 1, 10));
+    }
+}

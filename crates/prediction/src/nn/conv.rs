@@ -1,0 +1,243 @@
+//! Same-padding 3×3 convolution over channel-major grids.
+//!
+//! Tensors are flat `f64` slices in `[channel][row][col]` order. Only the
+//! 3×3 kernel the DeepST-style nets need is implemented; padding is zero
+//! and stride is 1, so spatial dimensions are preserved.
+
+use rand::Rng;
+
+use super::param::Param;
+
+/// A 3×3 convolution layer with bias.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    /// Kernel weights, indexed `[out][in][ky][kx]`.
+    pub weight: Param,
+    /// Per-output-channel bias.
+    pub bias: Param,
+}
+
+impl Conv2d {
+    /// A new layer with He-initialized kernels.
+    pub fn new<R: Rng + ?Sized>(in_ch: usize, out_ch: usize, rng: &mut R) -> Self {
+        assert!(in_ch > 0 && out_ch > 0, "Conv2d: channels must be positive");
+        let fan_in = in_ch * 9;
+        Self {
+            in_ch,
+            out_ch,
+            weight: Param::he_uniform(out_ch * in_ch * 9, fan_in, rng),
+            bias: Param::zeros(out_ch),
+        }
+    }
+
+    /// Input channel count.
+    pub fn in_ch(&self) -> usize {
+        self.in_ch
+    }
+
+    /// Output channel count.
+    pub fn out_ch(&self) -> usize {
+        self.out_ch
+    }
+
+    #[inline]
+    fn w_idx(&self, o: usize, i: usize, ky: usize, kx: usize) -> usize {
+        ((o * self.in_ch + i) * 3 + ky) * 3 + kx
+    }
+
+    /// Forward pass: `input` has shape `[in_ch, h, w]`, output
+    /// `[out_ch, h, w]`.
+    ///
+    /// # Panics
+    /// Panics if `input.len() != in_ch * h * w`.
+    pub fn forward(&self, input: &[f64], h: usize, w: usize) -> Vec<f64> {
+        assert_eq!(
+            input.len(),
+            self.in_ch * h * w,
+            "Conv2d::forward: input shape mismatch"
+        );
+        let mut out = vec![0.0; self.out_ch * h * w];
+        for o in 0..self.out_ch {
+            let b = self.bias.w[o];
+            for y in 0..h {
+                for x in 0..w {
+                    let mut acc = b;
+                    for i in 0..self.in_ch {
+                        let plane = &input[i * h * w..(i + 1) * h * w];
+                        for ky in 0..3usize {
+                            let yy = y as isize + ky as isize - 1;
+                            if yy < 0 || yy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..3usize {
+                                let xx = x as isize + kx as isize - 1;
+                                if xx < 0 || xx >= w as isize {
+                                    continue;
+                                }
+                                acc += self.weight.w[self.w_idx(o, i, ky, kx)]
+                                    * plane[yy as usize * w + xx as usize];
+                            }
+                        }
+                    }
+                    out[o * h * w + y * w + x] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass: given `grad_out` (shape `[out_ch, h, w]`) and the
+    /// forward `input`, accumulates weight/bias gradients and returns the
+    /// gradient with respect to the input.
+    pub fn backward(&mut self, input: &[f64], grad_out: &[f64], h: usize, w: usize) -> Vec<f64> {
+        assert_eq!(
+            grad_out.len(),
+            self.out_ch * h * w,
+            "Conv2d::backward: grad shape mismatch"
+        );
+        assert_eq!(
+            input.len(),
+            self.in_ch * h * w,
+            "Conv2d::backward: input shape mismatch"
+        );
+        let mut grad_in = vec![0.0; input.len()];
+        for o in 0..self.out_ch {
+            let gplane = &grad_out[o * h * w..(o + 1) * h * w];
+            // Bias gradient: sum over the spatial plane.
+            self.bias.g[o] += gplane.iter().sum::<f64>();
+            for y in 0..h {
+                for x in 0..w {
+                    let g = gplane[y * w + x];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for i in 0..self.in_ch {
+                        for ky in 0..3usize {
+                            let yy = y as isize + ky as isize - 1;
+                            if yy < 0 || yy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..3usize {
+                                let xx = x as isize + kx as isize - 1;
+                                if xx < 0 || xx >= w as isize {
+                                    continue;
+                                }
+                                let pix = i * h * w + yy as usize * w + xx as usize;
+                                let widx = self.w_idx(o, i, ky, kx);
+                                self.weight.g[widx] += g * input[pix];
+                                grad_in[pix] += g * self.weight.w[widx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(1, 1, &mut rng);
+        conv.weight.w.iter_mut().for_each(|w| *w = 0.0);
+        // Center tap = 1 → identity.
+        conv.weight.w[4] = 1.0;
+        let input: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let out = conv.forward(&input, 3, 4);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn box_kernel_sums_neighbourhood() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new(1, 1, &mut rng);
+        conv.weight.w.iter_mut().for_each(|w| *w = 1.0);
+        conv.bias.w[0] = 0.0;
+        let input = vec![1.0; 9]; // 3×3 of ones
+        let out = conv.forward(&input, 3, 3);
+        // Center sees 9 ones; corners see 4; edges see 6.
+        assert_eq!(out[4], 9.0);
+        assert_eq!(out[0], 4.0);
+        assert_eq!(out[1], 6.0);
+    }
+
+    #[test]
+    fn gradient_check() {
+        // Central finite differences vs analytic gradients on a tiny layer.
+        let mut rng = StdRng::seed_from_u64(3);
+        let (h, w) = (4, 5);
+        let mut conv = Conv2d::new(2, 3, &mut rng);
+        let input: Vec<f64> = (0..2 * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // Loss = 0.5 Σ out², so dL/dout = out.
+        let loss = |c: &Conv2d, inp: &[f64]| -> f64 {
+            c.forward(inp, h, w).iter().map(|v| 0.5 * v * v).sum()
+        };
+        let out = conv.forward(&input, h, w);
+        conv.weight.zero_grad();
+        conv.bias.zero_grad();
+        let grad_in = conv.backward(&input, &out, h, w);
+
+        let eps = 1e-6;
+        // Check a sample of weight gradients.
+        for idx in [0usize, 7, 20, 35, conv.weight.len() - 1] {
+            let orig = conv.weight.w[idx];
+            conv.weight.w[idx] = orig + eps;
+            let lp = loss(&conv, &input);
+            conv.weight.w[idx] = orig - eps;
+            let lm = loss(&conv, &input);
+            conv.weight.w[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = conv.weight.g[idx];
+            assert!(
+                (num - ana).abs() < 1e-5 * (1.0 + num.abs()),
+                "weight[{idx}]: numeric {num}, analytic {ana}"
+            );
+        }
+        // Check bias gradients.
+        for idx in 0..conv.bias.len() {
+            let orig = conv.bias.w[idx];
+            conv.bias.w[idx] = orig + eps;
+            let lp = loss(&conv, &input);
+            conv.bias.w[idx] = orig - eps;
+            let lm = loss(&conv, &input);
+            conv.bias.w[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - conv.bias.g[idx]).abs() < 1e-5 * (1.0 + num.abs()),
+                "bias[{idx}]"
+            );
+        }
+        // Check input gradients.
+        let mut input = input;
+        for idx in [0usize, 11, 2 * h * w - 1] {
+            let orig = input[idx];
+            input[idx] = orig + eps;
+            let lp = loss(&conv, &input);
+            input[idx] = orig - eps;
+            let lm = loss(&conv, &input);
+            input[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grad_in[idx]).abs() < 1e-5 * (1.0 + num.abs()),
+                "input[{idx}]: numeric {num}, analytic {}",
+                grad_in[idx]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn wrong_input_shape_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let conv = Conv2d::new(1, 1, &mut rng);
+        conv.forward(&[0.0; 10], 3, 4);
+    }
+}

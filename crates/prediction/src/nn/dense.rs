@@ -1,0 +1,131 @@
+//! Fully connected layer.
+
+use rand::Rng;
+
+use super::param::Param;
+
+/// A dense layer `y = W x + b` with `W` stored row-major
+/// (`[out_dim, in_dim]`).
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    /// Weight matrix, row-major `[out][in]`.
+    pub weight: Param,
+    /// Output bias.
+    pub bias: Param,
+}
+
+impl Dense {
+    /// A new He-initialized layer.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "Dense: dims must be positive");
+        Self {
+            in_dim,
+            out_dim,
+            weight: Param::he_uniform(out_dim * in_dim, in_dim, rng),
+            bias: Param::zeros(out_dim),
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != in_dim`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "Dense::forward: shape mismatch");
+        (0..self.out_dim)
+            .map(|o| {
+                let row = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
+                self.bias.w[o] + row.iter().zip(x).map(|(w, x)| w * x).sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// Backward pass: accumulates parameter gradients, returns `dL/dx`.
+    pub fn backward(&mut self, x: &[f64], grad_out: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "Dense::backward: input mismatch");
+        assert_eq!(
+            grad_out.len(),
+            self.out_dim,
+            "Dense::backward: grad mismatch"
+        );
+        let mut grad_in = vec![0.0; self.in_dim];
+        for o in 0..self.out_dim {
+            let g = grad_out[o];
+            self.bias.g[o] += g;
+            let row_w = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let row_g = &mut self.weight.g[o * self.in_dim..(o + 1) * self.in_dim];
+            for i in 0..self.in_dim {
+                row_g[i] += g * x[i];
+                grad_in[i] += g * row_w[i];
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn forward_is_matrix_vector_product() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut d = Dense::new(2, 2, &mut rng);
+        d.weight.w = vec![1.0, 2.0, 3.0, 4.0];
+        d.bias.w = vec![10.0, 20.0];
+        let y = d.forward(&[1.0, -1.0]);
+        assert_eq!(y, vec![10.0 - 1.0, 20.0 - 1.0]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut d = Dense::new(5, 3, &mut rng);
+        let x: Vec<f64> = (0..5).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let loss = |d: &Dense, x: &[f64]| -> f64 {
+            d.forward(x).iter().map(|v| 0.5 * v * v).sum()
+        };
+        let y = d.forward(&x);
+        d.weight.zero_grad();
+        d.bias.zero_grad();
+        let gx = d.backward(&x, &y);
+        let eps = 1e-6;
+        for idx in 0..d.weight.len() {
+            let orig = d.weight.w[idx];
+            d.weight.w[idx] = orig + eps;
+            let lp = loss(&d, &x);
+            d.weight.w[idx] = orig - eps;
+            let lm = loss(&d, &x);
+            d.weight.w[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - d.weight.g[idx]).abs() < 1e-6 * (1.0 + num.abs()),
+                "weight[{idx}]"
+            );
+        }
+        let mut x = x;
+        for idx in 0..x.len() {
+            let orig = x[idx];
+            x[idx] = orig + eps;
+            let lp = loss(&d, &x);
+            x[idx] = orig - eps;
+            let lm = loss(&d, &x);
+            x[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - gx[idx]).abs() < 1e-6 * (1.0 + num.abs()), "x[{idx}]");
+        }
+    }
+}

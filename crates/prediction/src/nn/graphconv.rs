@@ -1,0 +1,533 @@
+//! `GraphConvNet` — the DeepST-GC substitute (the paper's Appendix A
+//! extension for irregular regions such as NYC's 262 taxi zones).
+//!
+//! Regions form a graph; the convolution is `X' = σ(Â X W)` with
+//! `Â = D^{-1/2}(A + I)D^{-1/2}` (Kipf & Welling, the paper's citation
+//! \[26\]). Two graph-conv layers consume the same 9 temporal channels as
+//! [`crate::DeepStNet`], and the same dense metadata head is fused in.
+//! Works over *any* adjacency, so it also runs on the regular grid (where
+//! it is directly comparable with the CNN).
+
+use mrvd_demand::DemandSeries;
+use mrvd_spatial::Grid;
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+
+use super::dense::Dense;
+use super::param::Param;
+use super::{relu_backward, relu_inplace};
+use crate::Predictor;
+
+/// Input channels: 3 closeness + 3 period + 3 trend (same as the CNN).
+const IN_CH: usize = 9;
+const DOW: usize = 7;
+
+/// Hyper-parameters of [`GraphConvNet`].
+#[derive(Debug, Clone)]
+pub struct GraphConvConfig {
+    /// Width of the hidden graph-conv layer.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Seed for init and shuffling.
+    pub seed: u64,
+    /// First day eligible as a training target (trend horizon).
+    pub min_history_days: usize,
+}
+
+impl Default for GraphConvConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 24,
+            epochs: 20,
+            lr: 2e-3,
+            batch_size: 8,
+            seed: 0x6C9,
+            min_history_days: 21,
+        }
+    }
+}
+
+/// Two-layer graph-convolutional demand predictor.
+#[derive(Clone)]
+pub struct GraphConvNet {
+    n: usize,
+    /// Normalized adjacency `Â`, dense row-major `[n, n]`.
+    a_hat: Vec<f64>,
+    w1: Param,
+    b1: Param,
+    w2: Param,
+    b2: Param,
+    meta: Dense,
+    config: GraphConvConfig,
+    scale: f64,
+    slots_per_day: usize,
+    fitted: bool,
+}
+
+impl GraphConvNet {
+    /// Builds the net from an undirected adjacency list over `n` regions.
+    ///
+    /// # Panics
+    /// Panics if an adjacency entry is out of range or `n == 0`.
+    pub fn new(
+        n: usize,
+        adjacency: &[(usize, usize)],
+        slots_per_day: usize,
+        config: GraphConvConfig,
+    ) -> Self {
+        assert!(n > 0, "GraphConvNet: need at least one region");
+        assert!(slots_per_day > 0, "GraphConvNet: slots_per_day must be positive");
+        // A + I.
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        for &(u, v) in adjacency {
+            assert!(u < n && v < n, "GraphConvNet: adjacency out of range");
+            a[u * n + v] = 1.0;
+            a[v * n + u] = 1.0;
+        }
+        // Â = D^{-1/2} (A+I) D^{-1/2}.
+        let deg: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|j| a[i * n + j]).sum::<f64>())
+            .collect();
+        let mut a_hat = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if a[i * n + j] != 0.0 {
+                    a_hat[i * n + j] = a[i * n + j] / (deg[i] * deg[j]).sqrt();
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let h = config.hidden;
+        Self {
+            n,
+            a_hat,
+            w1: Param::he_uniform(IN_CH * h, IN_CH, &mut rng),
+            b1: Param::zeros(h),
+            w2: Param::he_uniform(h, h, &mut rng),
+            b2: Param::zeros(1),
+            meta: Dense::new(slots_per_day + DOW, n, &mut rng),
+            config,
+            scale: 1.0,
+            slots_per_day,
+            fitted: false,
+        }
+    }
+
+    /// Builds the net over a rectangular grid's 8-neighbour adjacency —
+    /// the regular-grid instantiation used in the comparison experiments.
+    pub fn from_grid(grid: &Grid, slots_per_day: usize, config: GraphConvConfig) -> Self {
+        let mut edges = Vec::new();
+        for r in grid.regions() {
+            for nb in grid.neighbors(r) {
+                if nb.idx() > r.idx() {
+                    edges.push((r.idx(), nb.idx()));
+                }
+            }
+        }
+        Self::new(grid.num_regions(), &edges, slots_per_day, config)
+    }
+
+    /// Node features `[n, IN_CH]` for `(day, slot)` — same temporal views
+    /// as the CNN, but per region instead of per grid cell.
+    fn assemble_features(&self, series: &DemandSeries, day: usize, slot: usize) -> Vec<f64> {
+        let n = self.n;
+        let spd = series.slots_per_day();
+        let gs = day * spd + slot;
+        let mut x = vec![0.0; n * IN_CH];
+        let write = |ch: usize, gday: i64, gslot: i64, x: &mut Vec<f64>| {
+            if gday < 0 || gslot < 0 {
+                return;
+            }
+            for r in 0..n {
+                x[r * IN_CH + ch] = series.get(gday as usize, gslot as usize, r) * self.scale;
+            }
+        };
+        for c in 0..3 {
+            let g = gs as i64 - (c as i64 + 1);
+            if g >= 0 {
+                write(c, g / spd as i64, g % spd as i64, &mut x);
+            }
+        }
+        for p in 0..3 {
+            write(3 + p, day as i64 - (p as i64 + 1), slot as i64, &mut x);
+        }
+        for q in 0..3 {
+            write(6 + q, day as i64 - 7 * (q as i64 + 1), slot as i64, &mut x);
+        }
+        x
+    }
+
+    fn assemble_meta(&self, day: usize, slot: usize) -> Vec<f64> {
+        let mut m = vec![0.0; self.slots_per_day + DOW];
+        m[slot % self.slots_per_day] = 1.0;
+        m[self.slots_per_day + day % DOW] = 1.0;
+        m
+    }
+
+    /// `out[n, c2] = Â · x[n, c1] · W[c1, c2]`, computed as (Â x) then (· W).
+    fn propagate(&self, x: &[f64], c_in: usize) -> Vec<f64> {
+        let n = self.n;
+        let mut ax = vec![0.0; n * c_in];
+        for i in 0..n {
+            for j in 0..n {
+                let a = self.a_hat[i * n + j];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..c_in {
+                    ax[i * c_in + c] += a * x[j * c_in + c];
+                }
+            }
+        }
+        ax
+    }
+
+    /// Transposed propagation for gradients: `Â` is symmetric, so this is
+    /// the same operation.
+    fn propagate_back(&self, g: &[f64], c: usize) -> Vec<f64> {
+        self.propagate(g, c)
+    }
+
+    fn forward(&self, x: &[f64], meta: &[f64]) -> GcCache {
+        let n = self.n;
+        let h = self.config.hidden;
+        let ax = self.propagate(x, IN_CH);
+        // hidden[n, h] = ReLU(ax · W1 + b1).
+        let mut hidden = vec![0.0; n * h];
+        for i in 0..n {
+            for c2 in 0..h {
+                let mut acc = self.b1.w[c2];
+                for c1 in 0..IN_CH {
+                    acc += ax[i * IN_CH + c1] * self.w1.w[c1 * h + c2];
+                }
+                hidden[i * h + c2] = acc;
+            }
+        }
+        let m1 = relu_inplace(&mut hidden);
+        let ah1 = self.propagate(&hidden, h);
+        // y[n] = ah1 · w2 + b2 + meta head.
+        let meta_out = self.meta.forward(meta);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = self.b2.w[0];
+            for c in 0..h {
+                acc += ah1[i * h + c] * self.w2.w[c];
+            }
+            y[i] = acc + meta_out[i];
+        }
+        GcCache { ax, m1, ah1, y }
+    }
+
+    fn backward(&mut self, x: &[f64], meta: &[f64], cache: &GcCache, grad_y: &[f64]) {
+        let n = self.n;
+        let h = self.config.hidden;
+        self.meta.backward(meta, grad_y);
+        // y_i = Σ_c ah1[i,c]·w2[c] + b2.
+        for g in grad_y {
+            self.b2.g[0] += g;
+        }
+        let mut g_ah1 = vec![0.0; n * h];
+        for i in 0..n {
+            for c in 0..h {
+                self.w2.g[c] += grad_y[i] * cache.ah1[i * h + c];
+                g_ah1[i * h + c] = grad_y[i] * self.w2.w[c];
+            }
+        }
+        // ah1 = Â h1 → g_h1 = Âᵀ g_ah1 = Â g_ah1.
+        let mut g_h1 = self.propagate_back(&g_ah1, h);
+        relu_backward(&mut g_h1, &cache.m1);
+        // h1 = ax·W1 + b1.
+        for i in 0..n {
+            for c2 in 0..h {
+                let g = g_h1[i * h + c2];
+                if g == 0.0 {
+                    continue;
+                }
+                self.b1.g[c2] += g;
+                for c1 in 0..IN_CH {
+                    self.w1.g[c1 * h + c2] += g * cache.ax[i * IN_CH + c1];
+                }
+            }
+        }
+        // No gradient needed w.r.t. the input features.
+        let _ = x;
+    }
+
+    fn zero_grads(&mut self) {
+        self.w1.zero_grad();
+        self.b1.zero_grad();
+        self.w2.zero_grad();
+        self.b2.zero_grad();
+        self.meta.weight.zero_grad();
+        self.meta.bias.zero_grad();
+    }
+
+    fn adam_step(&mut self, t: u64) {
+        let lr = self.config.lr;
+        self.w1.adam_step(lr, t);
+        self.b1.adam_step(lr, t);
+        self.w2.adam_step(lr, t);
+        self.b2.adam_step(lr, t);
+        self.meta.weight.adam_step(lr, t);
+        self.meta.bias.adam_step(lr, t);
+    }
+}
+
+struct GcCache {
+    ax: Vec<f64>,
+    m1: Vec<bool>,
+    ah1: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl Predictor for GraphConvNet {
+    fn name(&self) -> &'static str {
+        "DeepST-GC"
+    }
+
+    fn fit(&mut self, series: &DemandSeries, train_days: usize) {
+        assert!(
+            train_days <= series.days(),
+            "GraphConvNet: train_days exceeds series length"
+        );
+        assert_eq!(series.regions(), self.n, "GraphConvNet: region mismatch");
+        assert!(train_days >= 2, "GraphConvNet: need at least 2 training days");
+        let mut max_v = 0.0f64;
+        for d in 0..train_days {
+            for s in 0..series.slots_per_day() {
+                for r in 0..series.regions() {
+                    max_v = max_v.max(series.get(d, s, r));
+                }
+            }
+        }
+        self.scale = 1.0 / max_v.max(1e-9);
+        let start_day = self.config.min_history_days.min(train_days - 1).max(1);
+        let mut samples: Vec<(usize, usize)> = (start_day..train_days)
+            .flat_map(|d| (0..series.slots_per_day()).map(move |s| (d, s)))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x6C);
+        let n = self.n;
+        let mut step = 0u64;
+        for _ in 0..self.config.epochs {
+            samples.shuffle(&mut rng);
+            for chunk in samples.chunks(self.config.batch_size) {
+                self.zero_grads();
+                let inv = 1.0 / chunk.len() as f64;
+                for &(day, slot) in chunk {
+                    let x = self.assemble_features(series, day, slot);
+                    let meta = self.assemble_meta(day, slot);
+                    let cache = self.forward(&x, &meta);
+                    let grad_y: Vec<f64> = (0..n)
+                        .map(|r| {
+                            let t = series.get(day, slot, r) * self.scale;
+                            2.0 * (cache.y[r] - t) / n as f64 * inv
+                        })
+                        .collect();
+                    self.backward(&x, &meta, &cache, &grad_y);
+                }
+                step += 1;
+                self.adam_step(step);
+            }
+        }
+        self.fitted = true;
+    }
+
+    fn predict(&self, series: &DemandSeries, day: usize, slot: usize) -> Vec<f64> {
+        assert!(self.fitted, "GraphConvNet: predict before fit");
+        let x = self.assemble_features(series, day, slot);
+        let meta = self.assemble_meta(day, slot);
+        let cache = self.forward(&x, &meta);
+        cache
+            .y
+            .iter()
+            .map(|&v| (v / self.scale).max(0.0))
+            .collect()
+    }
+
+    fn clone_box(&self) -> Box<dyn Predictor + Send> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrvd_spatial::Point;
+    use rand::Rng;
+
+    fn series(days: usize, n: usize, spd: usize) -> DemandSeries {
+        let mut rng = StdRng::seed_from_u64(21);
+        DemandSeries::from_fn(days, spd, n, |d, t, r| {
+            let spatial = 2.0 + (r % 5) as f64;
+            let daily = 3.0 + 2.0 * (2.0 * std::f64::consts::PI * t as f64 / spd as f64).cos();
+            let dow = if d % 7 == 6 { 0.6 } else { 1.0 };
+            (spatial * daily * dow + rng.gen_range(-0.4..0.4)).max(0.0)
+        })
+    }
+
+    fn ring_adjacency(n: usize) -> Vec<(usize, usize)> {
+        (0..n).map(|i| (i, (i + 1) % n)).collect()
+    }
+
+    fn tiny(n: usize, spd: usize) -> GraphConvNet {
+        GraphConvNet::new(
+            n,
+            &ring_adjacency(n),
+            spd,
+            GraphConvConfig {
+                hidden: 8,
+                epochs: 15,
+                lr: 4e-3,
+                batch_size: 8,
+                seed: 3,
+                min_history_days: 7,
+            },
+        )
+    }
+
+    #[test]
+    fn normalized_adjacency_rows_are_bounded() {
+        let net = tiny(6, 4);
+        // Row sums of Â are ≤ 1 and > 0 for a connected graph with self
+        // loops.
+        for i in 0..6 {
+            let row: f64 = (0..6).map(|j| net.a_hat[i * 6 + j]).sum();
+            assert!(row > 0.0 && row <= 1.0 + 1e-9, "row {i} sums to {row}");
+        }
+        // Symmetry.
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((net.a_hat[i * 6 + j] - net.a_hat[j * 6 + i]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn training_improves_over_initialization() {
+        let spd = 8;
+        let s = series(20, 10, spd);
+        let mut net = tiny(10, spd);
+        net.scale = 1.0 / s.max_value();
+        // Initial squared error on held-out day.
+        let err = |net: &GraphConvNet, fitted: bool| -> f64 {
+            let mut e = 0.0;
+            for slot in 0..spd {
+                let truth: Vec<f64> = (0..10).map(|r| s.get(18, slot, r)).collect();
+                let pred = if fitted {
+                    net.predict(&s, 18, slot)
+                } else {
+                    let x = net.assemble_features(&s, 18, slot);
+                    let meta = net.assemble_meta(18, slot);
+                    net.forward(&x, &meta)
+                        .y
+                        .iter()
+                        .map(|&v| (v / net.scale).max(0.0))
+                        .collect()
+                };
+                for r in 0..10 {
+                    e += (pred[r] - truth[r]).powi(2);
+                }
+            }
+            e
+        };
+        let before = err(&net, false);
+        net.fit(&s, 18);
+        let after = err(&net, true);
+        assert!(after < 0.5 * before, "before {before:.1}, after {after:.1}");
+    }
+
+    #[test]
+    fn gradient_check_on_w1_and_w2() {
+        let spd = 4;
+        let s = series(10, 6, spd);
+        let mut net = tiny(6, spd);
+        net.scale = 1.0 / s.max_value();
+        let (day, slot) = (8, 2);
+        let x = net.assemble_features(&s, day, slot);
+        let meta = net.assemble_meta(day, slot);
+        let target: Vec<f64> = (0..6).map(|r| s.get(day, slot, r) * net.scale).collect();
+        let loss_of = |net: &GraphConvNet| -> f64 {
+            let c = net.forward(&x, &meta);
+            c.y.iter()
+                .zip(&target)
+                .map(|(y, t)| (y - t) * (y - t))
+                .sum::<f64>()
+                / 6.0
+        };
+        let cache = net.forward(&x, &meta);
+        let grad_y: Vec<f64> = (0..6)
+            .map(|r| 2.0 * (cache.y[r] - target[r]) / 6.0)
+            .collect();
+        net.zero_grads();
+        net.backward(&x, &meta, &cache, &grad_y);
+        let eps = 1e-6;
+        for (name, idx, analytic) in [
+            ("w1", 5usize, net.w1.g[5]),
+            ("w2", 3, net.w2.g[3]),
+            ("b1", 2, net.b1.g[2]),
+            ("meta", 4, net.meta.weight.g[4]),
+        ] {
+            let num = {
+                let field: &mut Param = match name {
+                    "w1" => &mut net.w1,
+                    "w2" => &mut net.w2,
+                    "b1" => &mut net.b1,
+                    _ => &mut net.meta.weight,
+                };
+                let orig = field.w[idx];
+                field.w[idx] = orig + eps;
+                let lp = loss_of(&net);
+                let field: &mut Param = match name {
+                    "w1" => &mut net.w1,
+                    "w2" => &mut net.w2,
+                    "b1" => &mut net.b1,
+                    _ => &mut net.meta.weight,
+                };
+                field.w[idx] = orig - eps;
+                let lm = loss_of(&net);
+                let field: &mut Param = match name {
+                    "w1" => &mut net.w1,
+                    "w2" => &mut net.w2,
+                    "b1" => &mut net.b1,
+                    _ => &mut net.meta.weight,
+                };
+                field.w[idx] = orig;
+                (lp - lm) / (2.0 * eps)
+            };
+            assert!(
+                (num - analytic).abs() < 1e-5 * (1.0 + num.abs()),
+                "{name}[{idx}]: numeric {num}, analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_constructor_matches_region_count() {
+        let grid = mrvd_spatial::Grid::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0), 4, 3);
+        let net = GraphConvNet::from_grid(&grid, 6, GraphConvConfig::default());
+        assert_eq!(net.n, 12);
+    }
+
+    #[test]
+    fn does_not_read_the_future() {
+        let spd = 4;
+        let mut s = series(12, 6, spd);
+        let mut net = tiny(6, spd);
+        net.fit(&s, 10);
+        let before = net.predict(&s, 10, 1);
+        for t in 1..spd {
+            for r in 0..6 {
+                s.set(10, t, r, 1e5);
+            }
+        }
+        assert_eq!(before, net.predict(&s, 10, 1));
+    }
+}

@@ -1,0 +1,60 @@
+//! A minimal neural-network kit, implemented from scratch.
+//!
+//! Just enough machinery to host the paper's DeepST-style demand
+//! predictors: flat `f64` parameter buffers with Adam ([`param`]),
+//! same-padding 3×3 convolutions ([`conv`]), dense layers ([`dense`]),
+//! and the two model definitions ([`deepst`], [`graphconv`]).
+//!
+//! Backward passes are exact (validated by finite-difference gradient
+//! checks in the test suite); there is no autograd — each model wires its
+//! own backward chain, which keeps the kit ~small and the data flow
+//! explicit.
+
+pub mod conv;
+pub mod deepst;
+pub mod dense;
+pub mod graphconv;
+pub mod param;
+
+pub use param::Param;
+
+/// Rectified linear unit applied in place; returns the activation mask
+/// needed by [`relu_backward`].
+pub fn relu_inplace(x: &mut [f64]) -> Vec<bool> {
+    x.iter_mut()
+        .map(|v| {
+            if *v > 0.0 {
+                true
+            } else {
+                *v = 0.0;
+                false
+            }
+        })
+        .collect()
+}
+
+/// Propagates gradients through a ReLU given the forward activation mask.
+pub fn relu_backward(grad: &mut [f64], mask: &[bool]) {
+    assert_eq!(grad.len(), mask.len(), "relu_backward: shape mismatch");
+    for (g, &m) in grad.iter_mut().zip(mask) {
+        if !m {
+            *g = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_masks_negatives() {
+        let mut x = vec![-1.0, 0.0, 2.0];
+        let mask = relu_inplace(&mut x);
+        assert_eq!(x, vec![0.0, 0.0, 2.0]);
+        assert_eq!(mask, vec![false, false, true]);
+        let mut g = vec![5.0, 5.0, 5.0];
+        relu_backward(&mut g, &mask);
+        assert_eq!(g, vec![0.0, 0.0, 5.0]);
+    }
+}

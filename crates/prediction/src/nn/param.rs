@@ -1,0 +1,120 @@
+//! Learnable parameter buffers with Adam (Kingma & Ba 2015).
+
+use rand::Rng;
+
+/// A flat parameter tensor with its gradient accumulator and Adam moments.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Parameter values.
+    pub w: Vec<f64>,
+    /// Gradient accumulator; callers add into it during backward passes
+    /// and reset with [`Param::zero_grad`].
+    pub g: Vec<f64>,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Param {
+    /// Zero-initialized parameters (for biases).
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            w: vec![0.0; len],
+            g: vec![0.0; len],
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+        }
+    }
+
+    /// He-style uniform initialization in `[-limit, limit]` with
+    /// `limit = sqrt(6 / fan_in)`.
+    pub fn he_uniform<R: Rng + ?Sized>(len: usize, fan_in: usize, rng: &mut R) -> Self {
+        assert!(fan_in > 0, "Param: fan_in must be positive");
+        let limit = (6.0 / fan_in as f64).sqrt();
+        Self {
+            w: (0..len).map(|_| rng.gen_range(-limit..limit)).collect(),
+            g: vec![0.0; len],
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+        }
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.g.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// One Adam update with bias correction; `t` is the 1-based step
+    /// counter shared across all parameters of the model.
+    pub fn adam_step(&mut self, lr: f64, t: u64) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let t = t as f64;
+        let c1 = 1.0 - B1.powf(t);
+        let c2 = 1.0 - B2.powf(t);
+        for i in 0..self.w.len() {
+            self.m[i] = B1 * self.m[i] + (1.0 - B1) * self.g[i];
+            self.v[i] = B2 * self.v[i] + (1.0 - B2) * self.g[i] * self.g[i];
+            let m_hat = self.m[i] / c1;
+            let v_hat = self.v[i] / c2;
+            self.w[i] -= lr * m_hat / (v_hat.sqrt() + EPS);
+        }
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn adam_minimizes_a_quadratic() {
+        // Minimize f(w) = Σ (w_i − target_i)²; Adam should converge fast.
+        let mut p = Param::zeros(4);
+        let target = [1.0, -2.0, 3.0, 0.5];
+        for t in 1..=2_000 {
+            p.zero_grad();
+            for i in 0..4 {
+                p.g[i] = 2.0 * (p.w[i] - target[i]);
+            }
+            p.adam_step(0.05, t);
+        }
+        for i in 0..4 {
+            assert!(
+                (p.w[i] - target[i]).abs() < 1e-3,
+                "w[{i}] = {} vs {}",
+                p.w[i],
+                target[i]
+            );
+        }
+    }
+
+    #[test]
+    fn he_init_is_bounded_and_seeded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = Param::he_uniform(100, 50, &mut rng);
+        let limit = (6.0f64 / 50.0).sqrt();
+        assert!(p.w.iter().all(|&w| w.abs() <= limit));
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let q = Param::he_uniform(100, 50, &mut rng2);
+        assert_eq!(p.w, q.w);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::zeros(3);
+        p.g = vec![1.0, 2.0, 3.0];
+        p.zero_grad();
+        assert_eq!(p.g, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Parameters of a region queue.
+
+/// Reneging behaviour of waiting riders (the paper's §4.1).
+///
+/// The paper adopts the state-dependent reneging function suggested by
+/// Shortle et al.: `π(n) = e^{βn} / μ` for states with `n > 0` waiting
+/// riders, where `β` is fitted from historical reneging records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Reneging {
+    /// No reneging. With `λ ≥ μ` the positive side of the chain has no
+    /// steady state; [`crate::steady::SteadyState`] reports divergence.
+    /// Provided for tests and ablations only — the paper's riders are
+    /// always impatient.
+    None,
+    /// `π(n) = e^{β·n} / μ` (Eq. 4). Requires `β > 0`.
+    Exp {
+        /// Growth rate of impatience with queue length.
+        beta: f64,
+    },
+}
+
+impl Reneging {
+    /// The reneging rate `π(n)` for a state with `n > 0` waiting riders,
+    /// given the driver rate `mu`.
+    ///
+    /// Returns 0 for `n == 0` or [`Reneging::None`]. When `mu` is zero the
+    /// paper's `e^{βn}/μ` is unbounded; it is evaluated with `μ` clamped to
+    /// a tiny positive value so that the chain stays well-defined (an empty
+    /// region with no rejoining drivers sheds riders almost instantly,
+    /// which matches intuition).
+    pub fn rate(&self, n: u64, mu: f64) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        match *self {
+            Reneging::None => 0.0,
+            Reneging::Exp { beta } => {
+                let mu = mu.max(1e-12);
+                (beta * n as f64).exp() / mu
+            }
+        }
+    }
+}
+
+/// Parameters of one region's double-sided queue over a scheduling window.
+///
+/// Rates are *per second* everywhere in this crate; the expected idle time
+/// comes back in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueParams {
+    /// Rider (order) arrival rate λ, per second (Eq. 18 in the paper
+    /// estimates it from predicted and currently waiting riders).
+    pub lambda: f64,
+    /// Driver rejoin rate μ, per second (Eq. 19).
+    pub mu: f64,
+    /// Maximum number of drivers that can congest on the driver side of
+    /// the queue during the scheduling window (the paper's `K`, §4.2.2).
+    pub capacity_k: u64,
+    /// Rider reneging behaviour.
+    pub reneging: Reneging,
+}
+
+impl QueueParams {
+    /// Creates parameters, validating finiteness and non-negativity.
+    ///
+    /// # Panics
+    /// Panics if a rate is negative/NaN or `β ≤ 0` for exponential
+    /// reneging.
+    pub fn new(lambda: f64, mu: f64, capacity_k: u64, reneging: Reneging) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "QueueParams: lambda must be finite and non-negative, got {lambda}"
+        );
+        assert!(
+            mu.is_finite() && mu >= 0.0,
+            "QueueParams: mu must be finite and non-negative, got {mu}"
+        );
+        if let Reneging::Exp { beta } = reneging {
+            assert!(
+                beta > 0.0 && beta.is_finite(),
+                "QueueParams: beta must be positive, got {beta}"
+            );
+        }
+        Self {
+            lambda,
+            mu,
+            capacity_k,
+            reneging,
+        }
+    }
+
+    /// The death rate `μ_n` of state `n > 0`: `μ + π(n)` (Eq. 4).
+    pub fn death_rate(&self, n: u64) -> f64 {
+        self.mu + self.reneging.rate(n, self.mu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reneging_grows_exponentially() {
+        let r = Reneging::Exp { beta: 0.5 };
+        let mu = 2.0;
+        assert_eq!(r.rate(0, mu), 0.0);
+        let r1 = r.rate(1, mu);
+        let r2 = r.rate(2, mu);
+        let r3 = r.rate(3, mu);
+        assert!((r2 / r1 - 0.5f64.exp()).abs() < 1e-12);
+        assert!((r3 / r2 - 0.5f64.exp()).abs() < 1e-12);
+        assert!((r1 - (0.5f64).exp() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn none_never_reneges() {
+        assert_eq!(Reneging::None.rate(100, 1.0), 0.0);
+    }
+
+    #[test]
+    fn death_rate_adds_reneging_above_zero() {
+        let p = QueueParams::new(1.0, 2.0, 5, Reneging::Exp { beta: 0.1 });
+        assert!(p.death_rate(1) > p.mu);
+        assert!(p.death_rate(5) > p.death_rate(1));
+    }
+
+    #[test]
+    fn zero_mu_reneging_is_finite() {
+        let r = Reneging::Exp { beta: 0.3 };
+        assert!(r.rate(3, 0.0).is_finite());
+        assert!(r.rate(3, 0.0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be positive")]
+    fn non_positive_beta_panics() {
+        QueueParams::new(1.0, 1.0, 1, Reneging::Exp { beta: 0.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be finite")]
+    fn negative_lambda_panics() {
+        QueueParams::new(-1.0, 1.0, 1, Reneging::None);
+    }
+}

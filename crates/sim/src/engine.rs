@@ -1,0 +1,628 @@
+//! The batch-based simulation engine (Algorithm 1's outer loop).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mrvd_demand::TripRecord;
+use mrvd_spatial::{Grid, Point, TravelModel};
+use mrvd_stats::SummaryStats;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::metrics::{AssignmentRecord, SimResult};
+use crate::policy::{AvailableDriver, BatchContext, BusyDriver, DispatchPolicy, WaitingRider};
+use crate::types::{DriverId, Millis, RiderId};
+
+/// Simulation parameters (defaults follow the paper's Table 2 defaults:
+/// Δ = 3 s, τ = 180 s base wait + U[1 s, 10 s] noise, one full day).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Batch interval Δ in ms.
+    pub batch_interval_ms: Millis,
+    /// Base pickup waiting time τ in ms.
+    pub base_wait_ms: Millis,
+    /// Uniform deadline noise range `[lo, hi]` in ms (the paper's
+    /// `τ' ∈ [1, 10]` seconds).
+    pub wait_noise_ms: (Millis, Millis),
+    /// Simulation horizon in ms (a day by default).
+    pub horizon_ms: Millis,
+    /// Seed for the deadline noise.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            batch_interval_ms: 3_000,
+            base_wait_ms: 180_000,
+            wait_noise_ms: (1_000, 10_000),
+            horizon_ms: mrvd_demand::DAY_MS,
+            seed: 0x51A1,
+        }
+    }
+}
+
+/// Internal driver state.
+#[derive(Debug, Clone, Copy)]
+enum DriverState {
+    Available { pos: Point, since_ms: Millis },
+    Busy { until_ms: Millis, dropoff: Point },
+}
+
+/// The simulator: binds a travel model, a grid and a config; `run`
+/// executes one day for one policy.
+pub struct Simulator<'a> {
+    config: SimConfig,
+    travel: &'a dyn TravelModel,
+    grid: &'a Grid,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    /// Panics on a zero batch interval or zero horizon.
+    pub fn new(config: SimConfig, travel: &'a dyn TravelModel, grid: &'a Grid) -> Self {
+        assert!(config.batch_interval_ms > 0, "Simulator: Δ must be positive");
+        assert!(config.horizon_ms > 0, "Simulator: horizon must be positive");
+        assert!(
+            config.wait_noise_ms.0 <= config.wait_noise_ms.1,
+            "Simulator: noise range inverted"
+        );
+        Self {
+            config,
+            travel,
+            grid,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs one day: `trips` must be sorted by `request_ms` and fall
+    /// within the horizon; `driver_positions` seed the fleet.
+    ///
+    /// # Panics
+    /// Panics if trips are unsorted/out of horizon, or if the policy
+    /// returns an invalid assignment (unknown ids, double bookings, or a
+    /// pair violating the pickup deadline).
+    pub fn run(
+        &self,
+        trips: &[TripRecord],
+        driver_positions: &[Point],
+        policy: &mut dyn DispatchPolicy,
+    ) -> SimResult {
+        assert!(
+            trips.windows(2).all(|w| w[0].request_ms <= w[1].request_ms),
+            "Simulator: trips must be sorted by request time"
+        );
+        assert!(
+            trips.last().is_none_or(|t| t.request_ms < self.config.horizon_ms),
+            "Simulator: trips beyond the horizon"
+        );
+        let teleport = policy.teleports_pickup();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let (noise_lo, noise_hi) = self.config.wait_noise_ms;
+
+        // Rider table: deadline = request + base + U[noise].
+        struct RiderInfo {
+            trip: TripRecord,
+            deadline_ms: Millis,
+        }
+        let riders: Vec<RiderInfo> = trips
+            .iter()
+            .map(|&trip| RiderInfo {
+                deadline_ms: trip.request_ms
+                    + self.config.base_wait_ms
+                    + rng.gen_range(noise_lo..=noise_hi),
+                trip,
+            })
+            .collect();
+
+        let mut drivers: Vec<DriverState> = driver_positions
+            .iter()
+            .map(|&pos| DriverState::Available { pos, since_ms: 0 })
+            .collect();
+        let mut dropoff_heap: BinaryHeap<Reverse<(Millis, u32)>> = BinaryHeap::new();
+
+        let mut waiting: Vec<u32> = Vec::new(); // rider indices
+        let mut next_trip = 0usize;
+        let mut served = 0usize;
+        let mut reneged = 0usize;
+        let mut total_revenue = 0.0f64;
+        let mut assignments: Vec<AssignmentRecord> = Vec::new();
+        let mut batch_time = SummaryStats::new();
+        let mut batches = 0usize;
+        // Scratch flags for validation.
+        let mut rider_assigned = vec![false; riders.len()];
+
+        let mut now = 0u64;
+        while now < self.config.horizon_ms {
+            // 1. Free drivers whose dropoff has passed.
+            while let Some(&Reverse((t, d))) = dropoff_heap.peek() {
+                if t > now {
+                    break;
+                }
+                dropoff_heap.pop();
+                let DriverState::Busy { until_ms, dropoff } = drivers[d as usize] else {
+                    unreachable!("heap entry for a non-busy driver");
+                };
+                debug_assert_eq!(until_ms, t);
+                drivers[d as usize] = DriverState::Available {
+                    pos: dropoff,
+                    since_ms: t,
+                };
+            }
+            // 2. Admit new riders.
+            while next_trip < riders.len() && riders[next_trip].trip.request_ms <= now {
+                waiting.push(next_trip as u32);
+                next_trip += 1;
+            }
+            // 3. Renege riders whose deadline passed.
+            waiting.retain(|&ri| {
+                if riders[ri as usize].deadline_ms < now {
+                    reneged += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+
+            // 4. Build the batch view.
+            let waiting_view: Vec<WaitingRider> = waiting
+                .iter()
+                .map(|&ri| {
+                    let r = &riders[ri as usize];
+                    WaitingRider {
+                        id: RiderId(ri),
+                        pickup: r.trip.pickup,
+                        dropoff: r.trip.dropoff,
+                        request_ms: r.trip.request_ms,
+                        deadline_ms: r.deadline_ms,
+                    }
+                })
+                .collect();
+            let mut avail_view: Vec<AvailableDriver> = Vec::new();
+            let mut busy_view: Vec<BusyDriver> = Vec::new();
+            for (i, d) in drivers.iter().enumerate() {
+                match *d {
+                    DriverState::Available { pos, since_ms } => avail_view.push(AvailableDriver {
+                        id: DriverId(i as u32),
+                        pos,
+                        available_since_ms: since_ms,
+                    }),
+                    DriverState::Busy { until_ms, dropoff } => busy_view.push(BusyDriver {
+                        id: DriverId(i as u32),
+                        dropoff_ms: until_ms,
+                        dropoff_pos: dropoff,
+                    }),
+                }
+            }
+            let ctx = BatchContext {
+                now_ms: now,
+                riders: &waiting_view,
+                drivers: &avail_view,
+                busy: &busy_view,
+                travel: self.travel,
+                grid: self.grid,
+            };
+
+            // 5. Run the policy, timed.
+            let t0 = std::time::Instant::now();
+            let batch_assignments = policy.assign(&ctx);
+            batch_time.push(t0.elapsed().as_secs_f64());
+            batches += 1;
+
+            // 6. Validate and apply.
+            let mut driver_taken: std::collections::HashSet<u32> = std::collections::HashSet::new();
+            for a in &batch_assignments {
+                let ri = a.rider.0;
+                assert!(
+                    (ri as usize) < riders.len() && waiting.contains(&ri) && !rider_assigned[ri as usize],
+                    "policy assigned unknown or unavailable rider {}",
+                    a.rider
+                );
+                let di = a.driver.0 as usize;
+                assert!(di < drivers.len(), "policy assigned unknown driver {}", a.driver);
+                let DriverState::Available { pos, since_ms } = drivers[di] else {
+                    panic!("policy assigned busy driver {}", a.driver);
+                };
+                assert!(
+                    driver_taken.insert(a.driver.0),
+                    "policy assigned driver {} twice in one batch",
+                    a.driver
+                );
+                let rider = &riders[ri as usize];
+                let pickup_ms = if teleport {
+                    now
+                } else {
+                    now + self.travel.travel_time_ms(pos, rider.trip.pickup)
+                };
+                assert!(
+                    pickup_ms <= rider.deadline_ms,
+                    "policy violated the pickup deadline: pickup at {pickup_ms}, deadline {}",
+                    rider.deadline_ms
+                );
+                let ride_ms = self
+                    .travel
+                    .travel_time_ms(rider.trip.pickup, rider.trip.dropoff);
+                let dropoff_ms = pickup_ms + ride_ms;
+                let revenue = ride_ms as f64 / 1000.0; // α = 1, cost in seconds
+                drivers[di] = DriverState::Busy {
+                    until_ms: dropoff_ms,
+                    dropoff: rider.trip.dropoff,
+                };
+                dropoff_heap.push(Reverse((dropoff_ms, a.driver.0)));
+                rider_assigned[ri as usize] = true;
+                served += 1;
+                total_revenue += revenue;
+                assignments.push(AssignmentRecord {
+                    rider: a.rider,
+                    driver: a.driver,
+                    batch_ms: now,
+                    pickup_ms,
+                    dropoff_ms,
+                    revenue,
+                    driver_idle_ms: now - since_ms,
+                    dropoff_region: self.grid.region_of(rider.trip.dropoff),
+                    estimated_idle_s: a.estimated_idle_s,
+                });
+            }
+            waiting.retain(|&ri| !rider_assigned[ri as usize]);
+
+            now += self.config.batch_interval_ms;
+        }
+
+        // Final accounting: everything admitted but unserved either
+        // reneged (deadline before the horizon) or is still waiting;
+        // never-admitted late arrivals are classified the same way.
+        for &ri in &waiting {
+            if riders[ri as usize].deadline_ms < self.config.horizon_ms {
+                reneged += 1;
+            }
+        }
+        let mut still_waiting = waiting
+            .iter()
+            .filter(|&&ri| riders[ri as usize].deadline_ms >= self.config.horizon_ms)
+            .count();
+        for r in &riders[next_trip..] {
+            if r.deadline_ms < self.config.horizon_ms {
+                reneged += 1;
+            } else {
+                still_waiting += 1;
+            }
+        }
+        debug_assert_eq!(served + reneged + still_waiting, riders.len());
+
+        SimResult {
+            policy: policy.name(),
+            total_revenue,
+            served,
+            reneged,
+            total_riders: riders.len(),
+            still_waiting,
+            batch_time,
+            batches,
+            assignments,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Assignment;
+    use mrvd_spatial::ConstantSpeedModel;
+
+    /// Assigns every rider to the nearest valid free driver, greedily in
+    /// rider order — a minimal reference policy for engine tests.
+    struct FirstFit;
+
+    impl DispatchPolicy for FirstFit {
+        fn name(&self) -> String {
+            "first-fit".into()
+        }
+
+        fn assign(&mut self, ctx: &BatchContext<'_>) -> Vec<Assignment> {
+            let mut taken = std::collections::HashSet::new();
+            let mut out = Vec::new();
+            for r in ctx.riders {
+                let best = ctx
+                    .drivers
+                    .iter()
+                    .filter(|d| !taken.contains(&d.id) && ctx.is_valid_pair(r, d))
+                    .min_by_key(|d| ctx.travel.travel_time_ms(d.pos, r.pickup));
+                if let Some(d) = best {
+                    taken.insert(d.id);
+                    out.push(Assignment {
+                        rider: r.id,
+                        driver: d.id,
+                        estimated_idle_s: None,
+                    });
+                }
+            }
+            out
+        }
+    }
+
+    /// A policy that never assigns anyone.
+    struct Idle;
+
+    impl DispatchPolicy for Idle {
+        fn name(&self) -> String {
+            "idle".into()
+        }
+        fn assign(&mut self, _ctx: &BatchContext<'_>) -> Vec<Assignment> {
+            Vec::new()
+        }
+    }
+
+    fn mk_trips(n: usize) -> Vec<TripRecord> {
+        (0..n)
+            .map(|i| {
+                let pickup =
+                    Point::new(-73.98 + (i % 7) as f64 * 0.002, 40.74 + (i % 5) as f64 * 0.002);
+                TripRecord {
+                    id: i as u64,
+                    request_ms: (i as u64) * 20_000,
+                    pickup,
+                    // Short local rides keep drivers within reach of later
+                    // pickups, so fleets get reused across orders.
+                    dropoff: Point::new(pickup.lon + 0.008, pickup.lat + 0.004),
+                }
+            })
+            .collect()
+    }
+
+    fn run(policy: &mut dyn DispatchPolicy, n_trips: usize, n_drivers: usize) -> SimResult {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let config = SimConfig {
+            horizon_ms: 3_600_000, // one hour is enough for these tests
+            ..SimConfig::default()
+        };
+        let sim = Simulator::new(config, &travel, &grid);
+        let trips = mk_trips(n_trips);
+        let drivers: Vec<Point> = (0..n_drivers)
+            .map(|i| Point::new(-73.97 - (i % 4) as f64 * 0.003, 40.75))
+            .collect();
+        sim.run(&trips, &drivers, policy)
+    }
+
+    #[test]
+    fn conservation_of_riders() {
+        let res = run(&mut FirstFit, 120, 10);
+        assert_eq!(
+            res.served + res.reneged + res.still_waiting,
+            res.total_riders
+        );
+        assert!(res.served > 0);
+    }
+
+    #[test]
+    fn revenue_equals_sum_of_assignment_revenues() {
+        let res = run(&mut FirstFit, 80, 8);
+        let sum: f64 = res.assignments.iter().map(|a| a.revenue).sum();
+        assert!((res.total_revenue - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_policy_serves_nobody_and_everyone_reneges() {
+        let res = run(&mut Idle, 50, 10);
+        assert_eq!(res.served, 0);
+        // Horizon (1 h) far exceeds every deadline (≤ ~190 s after a
+        // request in the first 1000 s), so all riders reneged.
+        assert_eq!(res.reneged, 50);
+        assert_eq!(res.still_waiting, 0);
+    }
+
+    #[test]
+    fn pickups_meet_deadlines_and_timelines_are_ordered() {
+        let res = run(&mut FirstFit, 100, 6);
+        for a in &res.assignments {
+            assert!(a.batch_ms <= a.pickup_ms);
+            assert!(a.pickup_ms <= a.dropoff_ms);
+        }
+    }
+
+    #[test]
+    fn drivers_are_never_double_booked() {
+        let res = run(&mut FirstFit, 150, 5);
+        // Per driver, busy intervals [batch, dropoff] must not overlap.
+        let mut per_driver: std::collections::HashMap<DriverId, Vec<(Millis, Millis)>> =
+            std::collections::HashMap::new();
+        for a in &res.assignments {
+            per_driver
+                .entry(a.driver)
+                .or_default()
+                .push((a.batch_ms, a.dropoff_ms));
+        }
+        for intervals in per_driver.values() {
+            for w in intervals.windows(2) {
+                assert!(
+                    w[0].1 <= w[1].0,
+                    "overlapping busy intervals {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(&mut FirstFit, 60, 6);
+        let b = run(&mut FirstFit, 60, 6);
+        assert_eq!(a.served, b.served);
+        assert!((a.total_revenue - b.total_revenue).abs() < 1e-12);
+        assert_eq!(a.assignments.len(), b.assignments.len());
+    }
+
+    #[test]
+    fn no_drivers_means_no_service() {
+        let res = run(&mut FirstFit, 30, 0);
+        assert_eq!(res.served, 0);
+        assert_eq!(res.reneged, 30);
+    }
+
+    #[test]
+    fn no_trips_is_fine() {
+        let res = run(&mut FirstFit, 0, 5);
+        assert_eq!(res.total_riders, 0);
+        assert_eq!(res.served, 0);
+        assert!(res.batches > 0);
+    }
+
+    #[test]
+    fn longer_batch_interval_serves_fewer_riders() {
+        // The Figure 8 effect: larger Δ misses more deadlines.
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let trips = mk_trips(200);
+        // Drivers inside the pickup lattice so deadlines, not geometry,
+        // decide who gets served.
+        let drivers: Vec<Point> = (0..4).map(|_| Point::new(-73.974, 40.744)).collect();
+        let served_at = |delta: Millis| {
+            let sim = Simulator::new(
+                SimConfig {
+                    batch_interval_ms: delta,
+                    horizon_ms: 4_000_000,
+                    base_wait_ms: 120_000,
+                    ..SimConfig::default()
+                },
+                &travel,
+                &grid,
+            );
+            sim.run(&trips, &drivers, &mut FirstFit).served
+        };
+        let fast = served_at(3_000);
+        let slow = served_at(60_000);
+        assert!(
+            fast >= slow,
+            "Δ=3s served {fast}, Δ=60s served {slow} — larger Δ should not serve more"
+        );
+    }
+
+    #[test]
+    fn busy_drivers_are_visible_with_correct_rejoin_info() {
+        // A policy that checks the busy list matches what it assigned.
+        struct BusyAuditor {
+            expected: std::collections::HashMap<DriverId, (Millis, (i64, i64))>,
+            checks: usize,
+        }
+        impl DispatchPolicy for BusyAuditor {
+            fn name(&self) -> String {
+                "busy-auditor".into()
+            }
+            fn assign(&mut self, ctx: &BatchContext<'_>) -> Vec<Assignment> {
+                for b in ctx.busy {
+                    let (until, _) = self.expected[&b.id];
+                    assert_eq!(b.dropoff_ms, until, "wrong rejoin time exposed");
+                    self.checks += 1;
+                }
+                // Assign the first valid pair and remember its dropoff.
+                for r in ctx.riders {
+                    for d in ctx.drivers {
+                        if ctx.is_valid_pair(r, d) {
+                            let pickup =
+                                ctx.now_ms + ctx.travel.travel_time_ms(d.pos, r.pickup);
+                            let dropoff =
+                                pickup + ctx.travel.travel_time_ms(r.pickup, r.dropoff);
+                            self.expected.insert(d.id, (dropoff, (0, 0)));
+                            return vec![Assignment {
+                                rider: r.id,
+                                driver: d.id,
+                                estimated_idle_s: None,
+                            }];
+                        }
+                    }
+                }
+                Vec::new()
+            }
+        }
+        let mut auditor = BusyAuditor {
+            expected: std::collections::HashMap::new(),
+            checks: 0,
+        };
+        let res = run(&mut auditor, 60, 3);
+        assert!(res.served > 0);
+        assert!(auditor.checks > 0, "busy drivers never surfaced");
+    }
+
+    #[test]
+    fn driver_available_since_equals_previous_dropoff() {
+        let res = run(&mut FirstFit, 120, 4);
+        // For consecutive assignments of a driver, the idle interval of
+        // the later one starts exactly at the earlier one's dropoff.
+        let mut last_dropoff: std::collections::HashMap<DriverId, Millis> =
+            std::collections::HashMap::new();
+        let mut verified = 0;
+        for a in &res.assignments {
+            if let Some(&prev) = last_dropoff.get(&a.driver) {
+                assert_eq!(a.batch_ms - a.driver_idle_ms, prev);
+                verified += 1;
+            }
+            last_dropoff.insert(a.driver, a.dropoff_ms);
+        }
+        assert!(verified > 5, "too few driver reuse events ({verified})");
+    }
+
+    #[test]
+    fn batch_count_matches_horizon_over_delta() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let sim = Simulator::new(
+            SimConfig {
+                batch_interval_ms: 7_000,
+                horizon_ms: 100_000,
+                ..SimConfig::default()
+            },
+            &travel,
+            &grid,
+        );
+        let res = sim.run(&[], &[], &mut Idle);
+        // Batches at 0, 7s, …, 98s → ceil(100/7) = 15.
+        assert_eq!(res.batches, 15);
+    }
+
+    #[test]
+    fn rider_counted_reneged_even_if_never_admitted() {
+        // A rider arriving between the last batch and the horizon with a
+        // deadline inside the horizon must still be accounted for.
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let sim = Simulator::new(
+            SimConfig {
+                batch_interval_ms: 60_000,
+                horizon_ms: 120_000,
+                base_wait_ms: 10_000,
+                wait_noise_ms: (1_000, 2_000),
+                ..SimConfig::default()
+            },
+            &travel,
+            &grid,
+        );
+        let trips = vec![TripRecord {
+            id: 0,
+            request_ms: 100_000, // after the second (last) batch at 60s
+            pickup: Point::new(-73.98, 40.75),
+            dropoff: Point::new(-73.95, 40.78),
+        }];
+        let res = sim.run(&trips, &[], &mut Idle);
+        assert_eq!(res.total_riders, 1);
+        assert_eq!(res.served + res.reneged + res.still_waiting, 1);
+        assert_eq!(res.reneged, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_trips_panic() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let sim = Simulator::new(SimConfig::default(), &travel, &grid);
+        let mut trips = mk_trips(3);
+        trips.swap(0, 2);
+        sim.run(&trips, &[], &mut Idle);
+    }
+}

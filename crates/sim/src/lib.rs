@@ -1,0 +1,25 @@
+//! Discrete-event car-hailing simulator.
+//!
+//! Reproduces the paper's online environment (§3.2, §6.2): riders post
+//! orders over a day, wait at most `τ_i = t_i + τ + U[1s,10s]` for a
+//! pickup and renege otherwise; drivers serve one order at a time and
+//! rejoin the platform at the destination of their last order; the
+//! platform runs a batch assignment every Δ seconds through a pluggable
+//! [`DispatchPolicy`].
+//!
+//! The simulator is deterministic given its seed, enforces the paper's
+//! validity constraint (Definition 3: the driver must reach the pickup
+//! before the deadline) on every assignment a policy returns, and records
+//! everything the evaluation needs: revenue, served/reneged counts,
+//! per-assignment idle intervals (for Table 3) and per-batch wall-clock
+//! times (for Figures 7b–10b).
+
+pub mod engine;
+pub mod metrics;
+pub mod policy;
+pub mod types;
+
+pub use engine::{SimConfig, Simulator};
+pub use metrics::{AssignmentRecord, SimResult};
+pub use policy::{Assignment, AvailableDriver, BatchContext, BusyDriver, DispatchPolicy, WaitingRider};
+pub use types::{DriverId, Millis, RiderId};

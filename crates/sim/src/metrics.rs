@@ -1,0 +1,191 @@
+//! Simulation outputs.
+
+use mrvd_spatial::RegionId;
+use mrvd_stats::SummaryStats;
+
+use crate::types::{DriverId, Millis, RiderId};
+
+/// One completed assignment, with everything the evaluation joins on.
+#[derive(Debug, Clone, Copy)]
+pub struct AssignmentRecord {
+    /// The served rider.
+    pub rider: RiderId,
+    /// The serving driver.
+    pub driver: DriverId,
+    /// Batch timestamp at which the pair was formed.
+    pub batch_ms: Millis,
+    /// When the driver reached the pickup (≤ the rider's deadline).
+    pub pickup_ms: Millis,
+    /// When the rider was dropped off (driver rejoins here).
+    pub dropoff_ms: Millis,
+    /// Revenue `α · cost(s_i, e_i)` in cost units (seconds at α = 1).
+    pub revenue: f64,
+    /// The driver's idle interval ψ that *ended* with this assignment:
+    /// batch time minus the driver's availability start, in ms.
+    pub driver_idle_ms: Millis,
+    /// Region of the rider's destination (where the driver will rejoin).
+    pub dropoff_region: RegionId,
+    /// The policy's idle-time estimate for after this dropoff (seconds),
+    /// when the policy provides one.
+    pub estimated_idle_s: Option<f64>,
+}
+
+/// Aggregate result of one simulated day.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Policy display name.
+    pub policy: String,
+    /// Total revenue `Σ α·cost(s_i, e_i)` over served riders (Eq. 1).
+    pub total_revenue: f64,
+    /// Number of served riders.
+    pub served: usize,
+    /// Number of riders who reneged (deadline passed unassigned).
+    pub reneged: usize,
+    /// Total riders that entered the platform.
+    pub total_riders: usize,
+    /// Riders still waiting when the horizon ended.
+    pub still_waiting: usize,
+    /// Wall-clock seconds spent inside `DispatchPolicy::assign`, per batch.
+    pub batch_time: SummaryStats,
+    /// Number of batches executed.
+    pub batches: usize,
+    /// Complete assignment log (chronological).
+    pub assignments: Vec<AssignmentRecord>,
+}
+
+impl SimResult {
+    /// Served riders as a fraction of all riders.
+    pub fn service_rate(&self) -> f64 {
+        if self.total_riders == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.total_riders as f64
+        }
+    }
+
+    /// Mean wall-clock time per batch, in seconds.
+    pub fn mean_batch_time_s(&self) -> f64 {
+        self.batch_time.mean()
+    }
+
+    /// Joins each assignment's idle-time *estimate* with the *realized*
+    /// idle interval that followed it: for consecutive assignments
+    /// `(i, i+1)` of the same driver, the estimate attached at `i`
+    /// (made for the dropoff region of order `i`) is realized as order
+    /// `i+1`'s `driver_idle_ms`. Returns `(estimated_s, real_s)` pairs —
+    /// the data behind the paper's Table 3 and Figure 6.
+    pub fn idle_estimate_pairs(&self) -> Vec<(f64, f64)> {
+        self.idle_estimate_pairs_by_region()
+            .into_iter()
+            .map(|(_, e, r)| (e, r))
+            .collect()
+    }
+
+    /// Like [`SimResult::idle_estimate_pairs`], tagged with the region in
+    /// which the driver idled (the dropoff region of the first order of
+    /// each pair) — the per-region breakdown of Figure 6.
+    pub fn idle_estimate_pairs_by_region(&self) -> Vec<(RegionId, f64, f64)> {
+        // Assignment indices per driver, in chronological order (the log
+        // itself is chronological).
+        let mut per_driver: std::collections::HashMap<DriverId, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, a) in self.assignments.iter().enumerate() {
+            per_driver.entry(a.driver).or_default().push(i);
+        }
+        let mut pairs = Vec::new();
+        for seq in per_driver.values() {
+            for w in seq.windows(2) {
+                let (cur, next) = (&self.assignments[w[0]], &self.assignments[w[1]]);
+                if let Some(est) = cur.estimated_idle_s {
+                    let real_ms = next.batch_ms - next.driver_idle_ms; // = availability start
+                    debug_assert_eq!(real_ms, cur.dropoff_ms);
+                    pairs.push((
+                        cur.dropoff_region,
+                        est,
+                        next.driver_idle_ms as f64 / 1000.0,
+                    ));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrvd_spatial::RegionId;
+
+    fn rec(driver: u32, batch_ms: Millis, idle_ms: Millis, dropoff_ms: Millis, est: Option<f64>) -> AssignmentRecord {
+        AssignmentRecord {
+            rider: RiderId(0),
+            driver: DriverId(driver),
+            batch_ms,
+            pickup_ms: batch_ms,
+            dropoff_ms,
+            revenue: 1.0,
+            driver_idle_ms: idle_ms,
+            dropoff_region: RegionId(0),
+            estimated_idle_s: est,
+        }
+    }
+
+    #[test]
+    fn idle_pairs_join_consecutive_assignments() {
+        let result = SimResult {
+            policy: "test".into(),
+            total_revenue: 0.0,
+            served: 2,
+            reneged: 0,
+            total_riders: 2,
+            still_waiting: 0,
+            batch_time: SummaryStats::new(),
+            batches: 2,
+            assignments: vec![
+                // Driver 0: drops off at 100_000, estimated idle 30 s,
+                // next assignment at batch 140_000 → realized 40 s.
+                rec(0, 10_000, 10_000, 100_000, Some(30.0)),
+                rec(0, 140_000, 40_000, 200_000, Some(9.0)),
+                // Driver 1: one assignment only → no pair.
+                rec(1, 15_000, 15_000, 90_000, Some(5.0)),
+            ],
+        };
+        let pairs = result.idle_estimate_pairs();
+        assert_eq!(pairs, vec![(30.0, 40.0)]);
+    }
+
+    #[test]
+    fn baselines_without_estimates_yield_no_pairs() {
+        let result = SimResult {
+            policy: "RAND".into(),
+            total_revenue: 0.0,
+            served: 2,
+            reneged: 0,
+            total_riders: 2,
+            still_waiting: 0,
+            batch_time: SummaryStats::new(),
+            batches: 2,
+            assignments: vec![
+                rec(0, 10_000, 10_000, 100_000, None),
+                rec(0, 140_000, 40_000, 200_000, None),
+            ],
+        };
+        assert!(result.idle_estimate_pairs().is_empty());
+    }
+
+    #[test]
+    fn service_rate_is_fraction_served() {
+        let result = SimResult {
+            policy: "x".into(),
+            total_revenue: 0.0,
+            served: 3,
+            reneged: 1,
+            total_riders: 4,
+            still_waiting: 0,
+            batch_time: SummaryStats::new(),
+            batches: 0,
+            assignments: vec![],
+        };
+        assert_eq!(result.service_rate(), 0.75);
+    }
+}

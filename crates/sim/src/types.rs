@@ -1,0 +1,41 @@
+//! Identifier and time types shared across the simulator.
+
+/// Simulated time in integer milliseconds (exact event ordering, no
+/// floating-point drift over a day).
+pub type Millis = u64;
+
+/// Identifier of a rider (order). Unique within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RiderId(pub u32);
+
+impl RiderId {
+    /// The raw index (riders are numbered densely from 0 in trip order).
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a driver. Unique within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DriverId(pub u32);
+
+impl DriverId {
+    /// The raw index (drivers are numbered densely from 0).
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for RiderId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl std::fmt::Display for DriverId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}

@@ -1,0 +1,290 @@
+//! Rectangular region partition ("regions/grids" in the paper's §2).
+//!
+//! The paper divides the NYC extent (−74.03°..−73.77° lon,
+//! 40.58°..40.92° lat) evenly into 16×16 grids; each grid cell is one
+//! region `a_k` with its own double-sided queue.
+
+use crate::geo::Point;
+
+/// Identifier of a region (a cell of the [`Grid`]).
+///
+/// Regions are numbered row-major: `id = row * cols + col`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+impl RegionId {
+    /// The raw index as a `usize`, for indexing per-region tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for RegionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// The paper's experimental extent of New York City:
+/// longitude −74.03°..−73.77°, latitude 40.58°..40.92°.
+pub const NYC_EXTENT: (Point, Point) = (
+    Point::new(-74.03, 40.58),
+    Point::new(-73.77, 40.92),
+);
+
+/// An even rectangular partition of a lon/lat bounding box into
+/// `cols × rows` regions.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    min: Point,
+    max: Point,
+    cols: u32,
+    rows: u32,
+}
+
+impl Grid {
+    /// Creates a grid over `[min, max]` with the given cell counts.
+    ///
+    /// # Panics
+    /// Panics if the box is degenerate or a cell count is zero.
+    pub fn new(min: Point, max: Point, cols: u32, rows: u32) -> Self {
+        assert!(max.lon > min.lon && max.lat > min.lat, "Grid: degenerate box");
+        assert!(cols > 0 && rows > 0, "Grid: cols and rows must be positive");
+        Self { min, max, cols, rows }
+    }
+
+    /// The paper's default grid: 16×16 over the NYC extent.
+    pub fn nyc_16x16() -> Self {
+        Self::new(NYC_EXTENT.0, NYC_EXTENT.1, 16, 16)
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Total number of regions.
+    pub fn num_regions(&self) -> usize {
+        (self.cols * self.rows) as usize
+    }
+
+    /// Bounding box minimum corner.
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Bounding box maximum corner.
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Maps a point to its region, clamping points outside the box into the
+    /// nearest edge cell (trips slightly out of extent still belong to a
+    /// border region, as in the paper's preprocessing).
+    pub fn region_of(&self, p: Point) -> RegionId {
+        let fx = (p.lon - self.min.lon) / (self.max.lon - self.min.lon);
+        let fy = (p.lat - self.min.lat) / (self.max.lat - self.min.lat);
+        let col = ((fx * self.cols as f64) as i64).clamp(0, self.cols as i64 - 1) as u32;
+        let row = ((fy * self.rows as f64) as i64).clamp(0, self.rows as i64 - 1) as u32;
+        RegionId(row * self.cols + col)
+    }
+
+    /// `(col, row)` coordinates of a region.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn coords(&self, id: RegionId) -> (u32, u32) {
+        assert!(id.idx() < self.num_regions(), "Grid: region out of range");
+        (id.0 % self.cols, id.0 / self.cols)
+    }
+
+    /// Region id at `(col, row)`; `None` when outside the grid.
+    pub fn at(&self, col: i64, row: i64) -> Option<RegionId> {
+        if col < 0 || row < 0 || col >= self.cols as i64 || row >= self.rows as i64 {
+            None
+        } else {
+            Some(RegionId(row as u32 * self.cols + col as u32))
+        }
+    }
+
+    /// Geographic center of a region.
+    pub fn center(&self, id: RegionId) -> Point {
+        let (c, r) = self.coords(id);
+        let w = (self.max.lon - self.min.lon) / self.cols as f64;
+        let h = (self.max.lat - self.min.lat) / self.rows as f64;
+        Point::new(
+            self.min.lon + (c as f64 + 0.5) * w,
+            self.min.lat + (r as f64 + 0.5) * h,
+        )
+    }
+
+    /// Geographic bounding box `[min, max)` of a region.
+    pub fn cell_box(&self, id: RegionId) -> (Point, Point) {
+        let (c, r) = self.coords(id);
+        let w = (self.max.lon - self.min.lon) / self.cols as f64;
+        let h = (self.max.lat - self.min.lat) / self.rows as f64;
+        (
+            Point::new(self.min.lon + c as f64 * w, self.min.lat + r as f64 * h),
+            Point::new(
+                self.min.lon + (c as f64 + 1.0) * w,
+                self.min.lat + (r as f64 + 1.0) * h,
+            ),
+        )
+    }
+
+    /// All region ids, in row-major order.
+    pub fn regions(&self) -> impl Iterator<Item = RegionId> + '_ {
+        (0..self.num_regions() as u32).map(RegionId)
+    }
+
+    /// Regions at exactly Chebyshev distance `ring` from `id`
+    /// (`ring == 0` yields `id` itself). Used to expand candidate searches
+    /// outward until the pickup deadline bounds the radius.
+    pub fn ring(&self, id: RegionId, ring: u32) -> Vec<RegionId> {
+        let (c, r) = self.coords(id);
+        let (c, r) = (c as i64, r as i64);
+        let d = ring as i64;
+        if d == 0 {
+            return vec![id];
+        }
+        let mut out = Vec::new();
+        for col in (c - d)..=(c + d) {
+            for &row in &[r - d, r + d] {
+                if let Some(x) = self.at(col, row) {
+                    out.push(x);
+                }
+            }
+        }
+        for row in (r - d + 1)..=(r + d - 1) {
+            for &col in &[c - d, c + d] {
+                if let Some(x) = self.at(col, row) {
+                    out.push(x);
+                }
+            }
+        }
+        out
+    }
+
+    /// The 8-neighbourhood (plus fewer at borders) of a region.
+    pub fn neighbors(&self, id: RegionId) -> Vec<RegionId> {
+        self.ring(id, 1)
+    }
+
+    /// Maximum possible Chebyshev ring distance between any two cells.
+    pub fn max_ring(&self) -> u32 {
+        self.cols.max(self.rows) - 1
+    }
+
+    /// Approximate width and height of one cell in meters, measured at the
+    /// grid center (used to convert a travel-time radius into a ring count).
+    pub fn cell_size_m(&self) -> (f64, f64) {
+        let cy = 0.5 * (self.min.lat + self.max.lat);
+        let w = Point::new(self.min.lon, cy)
+            .distance_m(&Point::new(self.max.lon, cy))
+            / self.cols as f64;
+        let h = Point::new(self.min.lon, self.min.lat)
+            .distance_m(&Point::new(self.min.lon, self.max.lat))
+            / self.rows as f64;
+        (w, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn nyc() -> Grid {
+        Grid::nyc_16x16()
+    }
+
+    #[test]
+    fn paper_grid_has_256_regions() {
+        assert_eq!(nyc().num_regions(), 256);
+    }
+
+    #[test]
+    fn region_center_round_trips() {
+        let g = nyc();
+        for id in g.regions() {
+            assert_eq!(g.region_of(g.center(id)), id);
+        }
+    }
+
+    #[test]
+    fn out_of_extent_points_clamp_to_border() {
+        let g = nyc();
+        assert_eq!(g.region_of(Point::new(-75.0, 40.0)), RegionId(0));
+        let far = g.region_of(Point::new(-70.0, 41.5));
+        assert_eq!(far, RegionId(255));
+    }
+
+    #[test]
+    fn coords_and_at_are_inverses() {
+        let g = Grid::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0), 5, 7);
+        for id in g.regions() {
+            let (c, r) = g.coords(id);
+            assert_eq!(g.at(c as i64, r as i64), Some(id));
+        }
+        assert_eq!(g.at(-1, 0), None);
+        assert_eq!(g.at(5, 0), None);
+        assert_eq!(g.at(0, 7), None);
+    }
+
+    #[test]
+    fn ring_sizes_match_chebyshev_geometry() {
+        let g = nyc();
+        let center = g.at(8, 8).unwrap();
+        assert_eq!(g.ring(center, 0), vec![center]);
+        assert_eq!(g.ring(center, 1).len(), 8);
+        assert_eq!(g.ring(center, 2).len(), 16);
+        // A corner cell sees a truncated ring.
+        let corner = g.at(0, 0).unwrap();
+        assert_eq!(g.ring(corner, 1).len(), 3);
+    }
+
+    #[test]
+    fn rings_partition_the_grid() {
+        let g = Grid::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0), 9, 9);
+        let center = g.at(4, 4).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for ring in 0..=g.max_ring() {
+            for id in g.ring(center, ring) {
+                assert!(seen.insert(id), "{id} appeared in two rings");
+            }
+        }
+        assert_eq!(seen.len(), g.num_regions());
+    }
+
+    #[test]
+    fn nyc_cell_size_is_about_1_4_by_2_4_km() {
+        let (w, h) = nyc().cell_size_m();
+        assert!((1_200.0..1_600.0).contains(&w), "w {w}");
+        assert!((2_200.0..2_500.0).contains(&h), "h {h}");
+    }
+
+    proptest! {
+        #[test]
+        fn region_of_is_total(lon in -80.0f64..-70.0, lat in 38.0f64..43.0) {
+            let g = nyc();
+            let id = g.region_of(Point::new(lon, lat));
+            prop_assert!(id.idx() < g.num_regions());
+        }
+
+        #[test]
+        fn points_in_cell_box_map_back(id in 0u32..256) {
+            let g = nyc();
+            let rid = RegionId(id);
+            let (lo, hi) = g.cell_box(rid);
+            // Strictly inside the box.
+            let p = Point::new(0.5 * (lo.lon + hi.lon), 0.5 * (lo.lat + hi.lat));
+            prop_assert_eq!(g.region_of(p), rid);
+        }
+    }
+}

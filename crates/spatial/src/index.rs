@@ -1,0 +1,253 @@
+//! Per-region bucket index for candidate queries.
+//!
+//! The dispatcher repeatedly asks "which available drivers could reach this
+//! rider before the deadline?". A full scan per rider is O(riders × drivers)
+//! per batch; bucketing items by region and expanding over grid rings until
+//! the deadline bounds the radius keeps the candidate set small, which is
+//! the standard practical optimization noted in DESIGN.md.
+
+use crate::geo::Point;
+use crate::grid::{Grid, RegionId};
+
+/// An index of items bucketed by their grid region.
+///
+/// `T` is typically a driver id. Items carry their exact position so that
+/// callers can apply precise travel-time filters after the coarse ring
+/// search.
+#[derive(Debug, Clone)]
+pub struct RegionIndex<T> {
+    grid: Grid,
+    buckets: Vec<Vec<(T, Point)>>,
+    len: usize,
+}
+
+impl<T: Copy> RegionIndex<T> {
+    /// An empty index over `grid`.
+    pub fn new(grid: Grid) -> Self {
+        let buckets = vec![Vec::new(); grid.num_regions()];
+        Self {
+            grid,
+            buckets,
+            len: 0,
+        }
+    }
+
+    /// Inserts `item` at position `p`.
+    pub fn insert(&mut self, item: T, p: Point) {
+        let r = self.grid.region_of(p);
+        self.buckets[r.idx()].push((item, p));
+        self.len += 1;
+    }
+
+    /// Removes every copy of `item` from region `r`'s bucket; returns how
+    /// many were removed. (Items are few per bucket, so a linear sweep is
+    /// cheaper than a secondary map.)
+    pub fn remove(&mut self, item: T, r: RegionId) -> usize
+    where
+        T: PartialEq,
+    {
+        let bucket = &mut self.buckets[r.idx()];
+        let before = bucket.len();
+        bucket.retain(|(x, _)| *x != item);
+        let removed = before - bucket.len();
+        self.len -= removed;
+        removed
+    }
+
+    /// Total number of items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Clears all buckets, keeping capacity.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Items in one region.
+    pub fn in_region(&self, r: RegionId) -> &[(T, Point)] {
+        &self.buckets[r.idx()]
+    }
+
+    /// The grid this index is built over.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Visits items in expanding rings around `center` (ring 0 first).
+    ///
+    /// `visit` returns `true` to keep expanding after the current ring is
+    /// exhausted, `false` to stop early — callers stop once they have
+    /// enough candidates or the ring distance exceeds what the pickup
+    /// deadline allows.
+    pub fn visit_rings<F>(&self, center: RegionId, max_ring: u32, mut visit: F)
+    where
+        F: FnMut(u32, &[(T, Point)]) -> bool,
+    {
+        let limit = max_ring.min(self.grid.max_ring());
+        for ring in 0..=limit {
+            let mut keep_going = true;
+            for r in self.grid.ring(center, ring) {
+                keep_going &= visit(ring, &self.buckets[r.idx()]);
+            }
+            if !keep_going {
+                return;
+            }
+        }
+    }
+
+    /// Collects up to `cap` items whose straight-line distance to `p` is at
+    /// most `radius_m`, searching outward by rings. The result is not
+    /// sorted; callers order by their own criterion (travel time, cost…).
+    pub fn within_radius(&self, p: Point, radius_m: f64, cap: usize) -> Vec<(T, Point)> {
+        let mut out = Vec::new();
+        if cap == 0 {
+            return out;
+        }
+        let center = self.grid.region_of(p);
+        let (cw, ch) = self.grid.cell_size_m();
+        let cell = cw.min(ch);
+        // Ring k is at least (k−1) cells away from p, so once
+        // (ring−1)·cell > radius no further item can qualify.
+        let max_ring = (radius_m / cell).ceil() as u32 + 1;
+        self.visit_rings(center, max_ring, |_, items| {
+            for &(item, q) in items {
+                if p.distance_m(&q) <= radius_m {
+                    out.push((item, q));
+                    if out.len() >= cap {
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn grid() -> Grid {
+        Grid::nyc_16x16()
+    }
+
+    #[test]
+    fn insert_and_query_region() {
+        let mut ix = RegionIndex::new(grid());
+        let p = Point::new(-73.9, 40.75);
+        ix.insert(7u32, p);
+        let r = ix.grid().region_of(p);
+        assert_eq!(ix.in_region(r), &[(7, p)]);
+        assert_eq!(ix.len(), 1);
+    }
+
+    #[test]
+    fn remove_deletes_only_target() {
+        let mut ix = RegionIndex::new(grid());
+        let p = Point::new(-73.9, 40.75);
+        ix.insert(1u32, p);
+        ix.insert(2u32, p);
+        let r = ix.grid().region_of(p);
+        assert_eq!(ix.remove(1, r), 1);
+        assert_eq!(ix.len(), 1);
+        assert_eq!(ix.in_region(r), &[(2, p)]);
+        assert_eq!(ix.remove(99, r), 0);
+    }
+
+    #[test]
+    fn within_radius_finds_all_and_only_nearby() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = grid();
+        let mut ix = RegionIndex::new(g.clone());
+        let mut pts = Vec::new();
+        for i in 0..500u32 {
+            let p = Point::new(
+                rng.gen_range(-74.03..-73.77),
+                rng.gen_range(40.58..40.92),
+            );
+            ix.insert(i, p);
+            pts.push(p);
+        }
+        let q = Point::new(-73.9, 40.75);
+        let radius = 3_000.0;
+        let got: std::collections::HashSet<u32> = ix
+            .within_radius(q, radius, usize::MAX)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        let expect: std::collections::HashSet<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.distance_m(p) <= radius)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn cap_limits_results() {
+        let mut ix = RegionIndex::new(grid());
+        let p = Point::new(-73.9, 40.75);
+        for i in 0..50u32 {
+            ix.insert(i, p);
+        }
+        assert_eq!(ix.within_radius(p, 100.0, 10).len(), 10);
+        assert!(ix.within_radius(p, 100.0, 0).is_empty());
+    }
+
+    #[test]
+    fn visit_rings_stops_on_false() {
+        let mut ix = RegionIndex::new(grid());
+        let p = Point::new(-73.9, 40.75);
+        ix.insert(0u32, p);
+        let mut rings_seen = Vec::new();
+        ix.visit_rings(ix.grid().region_of(p), 5, |ring, _| {
+            rings_seen.push(ring);
+            ring < 2
+        });
+        assert!(rings_seen.iter().all(|&r| r <= 2));
+        assert!(rings_seen.contains(&2));
+        assert!(!rings_seen.contains(&3));
+    }
+
+    proptest! {
+        #[test]
+        fn radius_query_matches_linear_scan(seed in 0u64..30, radius in 500.0f64..8_000.0) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = grid();
+            let mut ix = RegionIndex::new(g);
+            let mut pts = Vec::new();
+            for i in 0..120u32 {
+                let p = Point::new(
+                    rng.gen_range(-74.03..-73.77),
+                    rng.gen_range(40.58..40.92),
+                );
+                ix.insert(i, p);
+                pts.push(p);
+            }
+            let q = Point::new(rng.gen_range(-74.03..-73.77), rng.gen_range(40.58..40.92));
+            let got: std::collections::HashSet<u32> =
+                ix.within_radius(q, radius, usize::MAX).into_iter().map(|(i, _)| i).collect();
+            let expect: std::collections::HashSet<u32> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| q.distance_m(p) <= radius)
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Spatial substrate for the MRVD reproduction.
+//!
+//! The paper manages riders and drivers on a lat/lon plane partitioned into
+//! a 16×16 grid of regions over New York City and measures travel cost as
+//! travel time (distance / speed). This crate provides:
+//!
+//! * [`geo`] — geographic points and haversine distances;
+//! * [`grid`] — the rectangular region partition (`Grid`, `RegionId`),
+//!   neighbourhood rings, and the paper's NYC extent;
+//! * [`travel`] — the [`travel::TravelModel`] trait with a constant-speed
+//!   haversine implementation (the paper's setting) and a road-network
+//!   shortest-path implementation (the paper's §2 graph formalism);
+//! * [`road`] — road-network graphs `G = ⟨V, E⟩` with Dijkstra shortest
+//!   paths and a synthetic Manhattan-lattice generator;
+//! * [`index`] — a per-region bucket index for radius-limited candidate
+//!   queries (used by the dispatcher to find drivers near a rider).
+
+pub mod geo;
+pub mod grid;
+pub mod index;
+pub mod road;
+pub mod travel;
+
+pub use geo::{haversine_m, Point};
+pub use grid::{Grid, RegionId, NYC_EXTENT};
+pub use index::RegionIndex;
+pub use road::RoadNetwork;
+pub use travel::{ConstantSpeedModel, RoadNetworkModel, TravelModel};

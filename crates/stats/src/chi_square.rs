@@ -1,0 +1,262 @@
+//! Chi-square distribution and the Poisson goodness-of-fit test of
+//! the paper's Appendix B (Tables 7–8).
+//!
+//! The paper collects 210 per-minute order counts (21 weekdays × 10-minute
+//! windows), bins them into `r` intervals, computes Pearson's statistic
+//! `k = Σ (ν_i − n·p_i)² / (n·p_i)` against a fitted Poisson, and accepts
+//! the Poisson hypothesis when `k < χ²_{r−1}(0.05)`. This module implements
+//! the distribution, the critical values and the complete test.
+
+use crate::gamma::{reg_lower_gamma, reg_upper_gamma};
+use crate::poisson::poisson_pmf;
+
+/// CDF of the chi-square distribution with `dof` degrees of freedom.
+///
+/// # Panics
+/// Panics if `dof == 0` or `x < 0`.
+pub fn chi_square_cdf(dof: u32, x: f64) -> f64 {
+    assert!(dof > 0, "chi_square_cdf: dof must be positive");
+    assert!(x >= 0.0, "chi_square_cdf: x must be non-negative, got {x}");
+    reg_lower_gamma(dof as f64 / 2.0, x / 2.0)
+}
+
+/// Upper-tail probability `P(X > x)` for chi-square with `dof` degrees
+/// of freedom (the p-value of a Pearson statistic).
+pub fn chi_square_sf(dof: u32, x: f64) -> f64 {
+    assert!(dof > 0, "chi_square_sf: dof must be positive");
+    assert!(x >= 0.0, "chi_square_sf: x must be non-negative, got {x}");
+    reg_upper_gamma(dof as f64 / 2.0, x / 2.0)
+}
+
+/// Critical value `χ²_dof(alpha)`: the `x` with upper-tail mass `alpha`.
+///
+/// Computed by bisection on the monotone survival function; accurate to
+/// ~1e-9, which is far beyond what the hypothesis test needs. For the
+/// paper's values: `χ²_4(0.05) = 9.488`, `χ²_5(0.05) = 11.070`,
+/// `χ²_6(0.05) = 12.592`, `χ²_7(0.05) = 14.067`.
+///
+/// # Panics
+/// Panics if `alpha` is not strictly inside `(0, 1)`.
+pub fn chi_square_critical(dof: u32, alpha: f64) -> f64 {
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "chi_square_critical: alpha must be in (0, 1), got {alpha}"
+    );
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    while chi_square_sf(dof, hi) > alpha {
+        hi *= 2.0;
+        assert!(hi < 1e12, "chi_square_critical: bracket failed");
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if chi_square_sf(dof, mid) > alpha {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-10 * (1.0 + hi) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Result of a chi-square goodness-of-fit test against a Poisson model.
+#[derive(Debug, Clone)]
+pub struct ChiSquareOutcome {
+    /// Pearson statistic `k = Σ (ν_i − n·p_i)² / (n·p_i)`.
+    pub statistic: f64,
+    /// Number of bins `r` after merging low-expectation bins.
+    pub bins: usize,
+    /// Degrees of freedom used for the decision (`r − 1`, matching the
+    /// paper's Appendix B which does not subtract one for the fitted mean).
+    pub dof: u32,
+    /// Critical value `χ²_dof(alpha)`.
+    pub critical: f64,
+    /// Upper-tail p-value of the statistic.
+    pub p_value: f64,
+    /// Fitted Poisson rate (the sample mean).
+    pub lambda_hat: f64,
+    /// `true` when the Poisson hypothesis is *not* rejected at `alpha`.
+    pub accepted: bool,
+    /// Observed frequency per bin (after merging).
+    pub observed: Vec<f64>,
+    /// Expected frequency per bin under the fitted Poisson.
+    pub expected: Vec<f64>,
+    /// Half-open value ranges `[lo, hi)` of each bin over the count axis.
+    pub bin_ranges: Vec<(u64, u64)>,
+}
+
+/// Chi-square goodness-of-fit test: are `samples` (non-negative counts)
+/// drawn from a Poisson distribution?
+///
+/// The Poisson rate is fitted as the sample mean, the count axis is split
+/// into unit bins which are then greedily merged until every bin has
+/// expected frequency at least `min_expected` (5 is the classical rule;
+/// the paper uses wider "range" bins, which this merging reproduces),
+/// and the hypothesis is accepted when the Pearson statistic stays below
+/// `χ²_{r−1}(alpha)`.
+///
+/// # Panics
+/// Panics if `samples` is empty or `alpha` is outside `(0, 1)`.
+pub fn chi_square_gof_poisson(samples: &[u64], alpha: f64, min_expected: f64) -> ChiSquareOutcome {
+    assert!(!samples.is_empty(), "chi_square_gof_poisson: no samples");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "chi_square_gof_poisson: alpha must be in (0, 1)"
+    );
+    let n = samples.len() as f64;
+    let lambda_hat = samples.iter().map(|&s| s as f64).sum::<f64>() / n;
+
+    let max_k = samples.iter().copied().max().unwrap_or(0);
+    // Raw unit bins 0..=max_k, with an implicit open tail folded into the
+    // last bin so that expected frequencies sum to n.
+    let mut raw_expected: Vec<f64> = (0..=max_k)
+        .map(|k| n * poisson_pmf(lambda_hat, k))
+        .collect();
+    let tail = n - raw_expected.iter().sum::<f64>();
+    if let Some(last) = raw_expected.last_mut() {
+        *last += tail.max(0.0);
+    }
+    let mut raw_observed = vec![0.0f64; (max_k + 1) as usize];
+    for &s in samples {
+        raw_observed[s as usize] += 1.0;
+    }
+
+    // Greedy left-to-right merge until each bin's expectation ≥ min_expected.
+    let mut observed = Vec::new();
+    let mut expected = Vec::new();
+    let mut bin_ranges = Vec::new();
+    let mut acc_o = 0.0;
+    let mut acc_e = 0.0;
+    let mut lo = 0u64;
+    for k in 0..=max_k {
+        acc_o += raw_observed[k as usize];
+        acc_e += raw_expected[k as usize];
+        if acc_e >= min_expected {
+            observed.push(acc_o);
+            expected.push(acc_e);
+            bin_ranges.push((lo, k + 1));
+            acc_o = 0.0;
+            acc_e = 0.0;
+            lo = k + 1;
+        }
+    }
+    if acc_e > 0.0 || acc_o > 0.0 {
+        // Fold the remainder into the last complete bin (or keep it alone
+        // if it is the only bin).
+        if let (Some(o), Some(e), Some(r)) =
+            (observed.last_mut(), expected.last_mut(), bin_ranges.last_mut())
+        {
+            *o += acc_o;
+            *e += acc_e;
+            r.1 = max_k + 1;
+        } else {
+            observed.push(acc_o);
+            expected.push(acc_e);
+            bin_ranges.push((lo, max_k + 1));
+        }
+    }
+
+    let statistic: f64 = observed
+        .iter()
+        .zip(&expected)
+        .map(|(&o, &e)| if e > 0.0 { (o - e) * (o - e) / e } else { 0.0 })
+        .sum();
+    let bins = observed.len();
+    let dof = (bins.max(2) - 1) as u32;
+    let critical = chi_square_critical(dof, alpha);
+    let p_value = chi_square_sf(dof, statistic.max(0.0));
+    ChiSquareOutcome {
+        statistic,
+        bins,
+        dof,
+        critical,
+        p_value,
+        lambda_hat,
+        accepted: statistic < critical,
+        observed,
+        expected,
+        bin_ranges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poisson::sample_poisson;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn critical_values_match_tables() {
+        // Classical table values quoted in the paper's Appendix B.
+        let cases = [(4u32, 9.488), (5, 11.070), (6, 12.592), (7, 14.067)];
+        for (dof, expect) in cases {
+            let got = chi_square_critical(dof, 0.05);
+            assert!((got - expect).abs() < 5e-3, "dof {dof}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        for dof in [1u32, 3, 10, 50] {
+            let mut prev = 0.0;
+            for i in 0..200 {
+                let x = i as f64 * 0.5;
+                let c = chi_square_cdf(dof, x);
+                assert!((0.0..=1.0).contains(&c));
+                assert!(c >= prev - 1e-14);
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_samples_are_accepted() {
+        // The paper's setting: 210 samples per test. With a 5% test and
+        // many seeds a few rejections are expected; require a large
+        // acceptance majority.
+        let mut accepted = 0;
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let samples: Vec<u64> = (0..210).map(|_| sample_poisson(&mut rng, 6.3)).collect();
+            if chi_square_gof_poisson(&samples, 0.05, 5.0).accepted {
+                accepted += 1;
+            }
+        }
+        assert!(accepted >= 34, "only {accepted}/40 accepted");
+    }
+
+    #[test]
+    fn uniform_samples_are_rejected() {
+        // Uniform counts over a wide range are far from Poisson.
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<u64> = (0..210).map(|_| rng.gen_range(0..60)).collect();
+        let outcome = chi_square_gof_poisson(&samples, 0.05, 5.0);
+        assert!(!outcome.accepted, "statistic {}", outcome.statistic);
+    }
+
+    #[test]
+    fn expected_frequencies_sum_to_sample_count() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let samples: Vec<u64> = (0..210).map(|_| sample_poisson(&mut rng, 12.0)).collect();
+        let outcome = chi_square_gof_poisson(&samples, 0.05, 5.0);
+        let total_e: f64 = outcome.expected.iter().sum();
+        let total_o: f64 = outcome.observed.iter().sum();
+        assert!((total_o - 210.0).abs() < 1e-9);
+        assert!((total_e - 210.0).abs() < 1.0, "expected sums to {total_e}");
+        // Bin ranges tile the count axis without gaps.
+        for w in outcome.bin_ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn constant_samples_degenerate_gracefully() {
+        let samples = vec![4u64; 100];
+        let outcome = chi_square_gof_poisson(&samples, 0.05, 5.0);
+        // A constant series is wildly non-Poisson (variance 0) but the
+        // test must not panic and must produce finite output.
+        assert!(outcome.statistic.is_finite());
+    }
+}

@@ -1,0 +1,127 @@
+//! Fixed-width histograms used to render the observed-vs-expected sample
+//! distributions of the paper's Figures 11–12 and the order-density map of
+//! Figure 5.
+
+/// A histogram over `[lo, hi)` with equally wide bins.
+///
+/// Out-of-range observations are clamped into the first/last bin so that
+/// totals are preserved (the figures in the paper plot complete sample
+/// sets).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "Histogram: bins must be positive");
+        assert!(hi > lo, "Histogram: hi must exceed lo");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Adds one observation, clamping out-of-range values into the edge bins.
+    pub fn push(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            let f = (x - self.lo) / (self.hi - self.lo);
+            ((f * bins as f64) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `[lo, hi)` range of bin `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "Histogram: bin index out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Renders the histogram as labelled text rows (`label: count  ###`),
+    /// used by the experiment harness's figure output.
+    pub fn render(&self, max_width: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bin_range(i);
+            let bar = "#".repeat((c as usize * max_width).div_ceil(peak as usize).min(max_width));
+            out.push_str(&format!("{lo:>8.1}..{hi:<8.1} {c:>6} {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for i in 0..10 {
+            h.push(i as f64);
+        }
+        assert_eq!(h.counts(), &[2, 2, 2, 2, 2]);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.bin_range(0), (0.0, 2.0));
+        assert_eq!(h.bin_range(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(-5.0);
+        h.push(99.0);
+        h.push(1.0); // hi is exclusive -> last bin
+        assert_eq!(h.counts(), &[1, 2]);
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let mut h = Histogram::new(0.0, 4.0, 2);
+        h.push(1.0);
+        h.push(3.0);
+        h.push(3.5);
+        let text = h.render(10);
+        assert!(text.contains('1'));
+        assert!(text.contains('2'));
+        assert!(text.lines().count() == 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bins must be positive")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+}

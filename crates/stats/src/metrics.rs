@@ -1,0 +1,257 @@
+//! Error metrics and summary statistics.
+//!
+//! Tables 3 and 6 of the paper report MAE, relative RMSE (in percent of the
+//! mean of the ground truth) and "real" RMSE (in natural units). These are
+//! computed here so that every experiment reports them identically.
+
+/// Mean of a slice; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance; 0 for slices with fewer than two elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Mean absolute error between predictions and ground truth.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    check_pair(pred, truth);
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Root mean squared error in natural units (the paper's "Real RMSE").
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    check_pair(pred, truth);
+    (pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64)
+        .sqrt()
+}
+
+/// RMSE normalized by the mean of the ground truth, in percent
+/// (the paper's "RMSE (%)"). Returns `f64::INFINITY` when the truth mean
+/// is zero but the error is not.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn relative_rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    check_pair(pred, truth);
+    let e = rmse(pred, truth);
+    let m = mean(truth).abs();
+    if m == 0.0 {
+        if e == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        100.0 * e / m
+    }
+}
+
+fn check_pair(pred: &[f64], truth: &[f64]) {
+    assert_eq!(
+        pred.len(),
+        truth.len(),
+        "metric: prediction and truth lengths differ"
+    );
+    assert!(!pred.is_empty(), "metric: empty input");
+}
+
+/// Streaming summary statistics (count, mean, min, max, variance) using
+/// Welford's online algorithm; used by the simulator's metric sinks so that
+/// per-batch values never need to be buffered.
+#[derive(Debug, Clone, Default)]
+pub struct SummaryStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl SummaryStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator (Chan's parallel update).
+    pub fn merge(&mut self, other: &SummaryStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; +∞ when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; −∞ when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_metrics() {
+        let pred = [1.0, 2.0, 3.0];
+        let truth = [1.0, 4.0, 1.0];
+        assert!((mae(&pred, &truth) - (0.0 + 2.0 + 2.0) / 3.0).abs() < 1e-12);
+        assert!((rmse(&pred, &truth) - ((0.0 + 4.0 + 4.0f64) / 3.0).sqrt()).abs() < 1e-12);
+        let rel = relative_rmse(&pred, &truth);
+        assert!((rel - 100.0 * rmse(&pred, &truth) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_prediction_is_zero_error() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert_eq!(mae(&xs, &xs), 0.0);
+        assert_eq!(rmse(&xs, &xs), 0.0);
+        assert_eq!(relative_rmse(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn summary_stats_match_batch_formulas() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = SummaryStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((s.variance() - variance(&xs)).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let (a, b) = xs.split_at(17);
+        let mut s1 = SummaryStats::new();
+        a.iter().for_each(|&x| s1.push(x));
+        let mut s2 = SummaryStats::new();
+        b.iter().for_each(|&x| s2.push(x));
+        s1.merge(&s2);
+        let mut all = SummaryStats::new();
+        xs.iter().for_each(|&x| all.push(x));
+        assert_eq!(s1.count(), all.count());
+        assert!((s1.mean() - all.mean()).abs() < 1e-10);
+        assert!((s1.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn rmse_dominates_mae(v in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..100)) {
+            let pred: Vec<f64> = v.iter().map(|p| p.0).collect();
+            let truth: Vec<f64> = v.iter().map(|p| p.1).collect();
+            // Cauchy-Schwarz: RMSE >= MAE always.
+            prop_assert!(rmse(&pred, &truth) + 1e-9 >= mae(&pred, &truth));
+        }
+
+        #[test]
+        fn welford_matches_two_pass(v in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+            let mut s = SummaryStats::new();
+            v.iter().for_each(|&x| s.push(x));
+            prop_assert!((s.mean() - mean(&v)).abs() < 1e-6 * (1.0 + mean(&v).abs()));
+            prop_assert!((s.variance() - variance(&v)).abs() < 1e-5 * (1.0 + variance(&v)));
+        }
+    }
+}

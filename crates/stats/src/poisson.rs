@@ -1,0 +1,242 @@
+//! Poisson sampling and arrival processes.
+//!
+//! The queueing model of the paper (§4.1) assumes rider and rejoined-driver
+//! arrivals in a region follow Poisson distributions over short windows;
+//! its Appendix B validates this on the NYC data with chi-square tests.
+//! The synthetic workload generator therefore drives arrivals from the
+//! processes defined here, which keeps the reproduction statistically
+//! equivalent to the paper's input.
+
+use crate::gamma::ln_gamma;
+use rand::Rng;
+
+/// Draws one sample from `Poisson(lambda)`.
+///
+/// Uses Knuth's product-of-uniforms method for small rates and the
+/// PTRS transformed-rejection method (Hörmann 1993) for `lambda >= 10`,
+/// which is exact and O(1) in expectation.
+///
+/// `lambda == 0` deterministically returns 0.
+///
+/// # Panics
+/// Panics if `lambda` is negative or not finite.
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "sample_poisson: lambda must be finite and non-negative, got {lambda}"
+    );
+    if lambda == 0.0 {
+        0
+    } else if lambda < 10.0 {
+        knuth(rng, lambda)
+    } else {
+        ptrs(rng, lambda)
+    }
+}
+
+/// Knuth's method: count uniforms until their product drops below e^{−λ}.
+fn knuth<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    let limit = (-lambda).exp();
+    let mut product: f64 = rng.gen();
+    let mut count = 0u64;
+    while product > limit {
+        product *= rng.gen::<f64>();
+        count += 1;
+    }
+    count
+}
+
+/// Hörmann's PTRS transformed-rejection sampler for λ ≥ 10.
+fn ptrs<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    let slam = lambda.sqrt();
+    let loglam = lambda.ln();
+    let b = 0.931 + 2.53 * slam;
+    let a = -0.059 + 0.02483 * b;
+    let inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+    let v_r = 0.9277 - 3.6224 / (b - 2.0);
+    loop {
+        let u: f64 = rng.gen::<f64>() - 0.5;
+        let v: f64 = rng.gen();
+        let us = 0.5 - u.abs();
+        let k = ((2.0 * a / us + b) * u + lambda + 0.43).floor();
+        if us >= 0.07 && v <= v_r {
+            return k as u64;
+        }
+        if k < 0.0 || (us < 0.013 && v > us) {
+            continue;
+        }
+        let lhs = (v * inv_alpha / (a / (us * us) + b)).ln();
+        let rhs = -lambda + k * loglam - ln_gamma(k + 1.0);
+        if lhs <= rhs {
+            return k as u64;
+        }
+    }
+}
+
+/// Poisson probability mass function `P(X = k)` for rate `lambda`.
+///
+/// Computed in log space to stay accurate for large `lambda`/`k`.
+pub fn poisson_pmf(lambda: f64, k: u64) -> f64 {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "poisson_pmf: lambda must be finite and non-negative, got {lambda}"
+    );
+    if lambda == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    let kf = k as f64;
+    (-lambda + kf * lambda.ln() - ln_gamma(kf + 1.0)).exp()
+}
+
+/// A homogeneous Poisson arrival process over a time interval.
+///
+/// Generates sorted arrival timestamps by sampling i.i.d. exponential
+/// inter-arrival gaps. Rates are per unit of the same time axis as the
+/// interval (the simulator uses milliseconds end-to-end, so rates there are
+/// per millisecond).
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonProcess {
+    /// Arrival rate per time unit. Must be finite and non-negative.
+    pub rate: f64,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given `rate` (arrivals per time unit).
+    ///
+    /// # Panics
+    /// Panics if `rate` is negative or not finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "PoissonProcess: rate must be finite and non-negative, got {rate}"
+        );
+        Self { rate }
+    }
+
+    /// Generates the sorted arrival times falling in `[start, end)`.
+    ///
+    /// Returns an empty vector when the rate is zero or the interval is
+    /// empty or inverted.
+    pub fn arrivals<R: Rng + ?Sized>(&self, rng: &mut R, start: f64, end: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if self.rate <= 0.0 || end <= start {
+            return out;
+        }
+        let mut t = start;
+        loop {
+            // Exponential(rate) gap via inverse transform; `1 − U` avoids ln(0).
+            let u: f64 = rng.gen();
+            t += -((1.0 - u).ln()) / self.rate;
+            if t >= end {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+
+    /// Samples the number of arrivals in an interval of length `dt`
+    /// (equivalently `Poisson(rate · dt)`).
+    pub fn count_in<R: Rng + ?Sized>(&self, rng: &mut R, dt: f64) -> u64 {
+        assert!(dt >= 0.0, "count_in: dt must be non-negative, got {dt}");
+        sample_poisson(rng, self.rate * dt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn zero_rate_yields_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+        let p = PoissonProcess::new(0.0);
+        assert!(p.arrivals(&mut rng, 0.0, 100.0).is_empty());
+    }
+
+    #[test]
+    fn sample_mean_and_variance_match_lambda() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &lambda in &[0.5, 3.0, 9.9, 10.0, 47.0, 400.0] {
+            let n = 40_000;
+            let samples: Vec<f64> = (0..n)
+                .map(|_| sample_poisson(&mut rng, lambda) as f64)
+                .collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var =
+                samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+            // Standard error of the mean is sqrt(λ/n); allow 5 sigma.
+            let se = (lambda / n as f64).sqrt();
+            assert!(
+                (mean - lambda).abs() < 5.0 * se + 1e-9,
+                "λ={lambda}: mean {mean}"
+            );
+            assert!(
+                (var - lambda).abs() < 0.1 * lambda + 0.2,
+                "λ={lambda}: var {var}"
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &lambda in &[0.1, 1.0, 5.0, 30.0] {
+            let sum: f64 = (0..(lambda as u64 * 4 + 60)).map(|k| poisson_pmf(lambda, k)).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "λ={lambda}: Σpmf = {sum}");
+        }
+    }
+
+    #[test]
+    fn pmf_matches_empirical_frequencies() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lambda = 4.0;
+        let n = 100_000;
+        let mut counts = [0u64; 16];
+        for _ in 0..n {
+            let k = sample_poisson(&mut rng, lambda) as usize;
+            if k < counts.len() {
+                counts[k] += 1;
+            }
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let expect = poisson_pmf(lambda, k as u64) * n as f64;
+            if expect > 50.0 {
+                // Allow 5 sigma of multinomial noise around the expectation.
+                let sigma = expect.sqrt();
+                assert!(
+                    (c as f64 - expect).abs() < 5.0 * sigma,
+                    "k={k}: observed {c}, expected {expect:.1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = PoissonProcess::new(0.2);
+        let arr = p.arrivals(&mut rng, 10.0, 500.0);
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arr.iter().all(|&t| (10.0..500.0).contains(&t)));
+        // Expected count = rate * length = 98; allow wide slack.
+        assert!(arr.len() > 50 && arr.len() < 160, "got {}", arr.len());
+    }
+
+    #[test]
+    fn arrival_count_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = PoissonProcess::new(2.5);
+        let total: usize = (0..200).map(|_| p.arrivals(&mut rng, 0.0, 100.0).len()).sum();
+        let mean = total as f64 / 200.0;
+        assert!((mean - 250.0).abs() < 10.0, "mean count {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be finite")]
+    fn negative_lambda_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        sample_poisson(&mut rng, -1.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: generate one NYC-like day, dispatch it with every policy,
+//! and print the revenue/served comparison (a miniature Figure 7 column).
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use mrvd::prelude::*;
+use rand::rngs::StdRng;
+
+fn main() {
+    // A scaled-down day: ~28K orders (1/10 of the paper's test day) and
+    // 300 drivers (1/10 of its default fleet).
+    let orders_per_day = 28_000.0;
+    let n_drivers = 300;
+
+    println!("generating workload ({orders_per_day} orders, {n_drivers} drivers)…");
+    let gen = NycLikeGenerator::new(NycLikeConfig {
+        orders_per_day,
+        seed: 42,
+        ..NycLikeConfig::default()
+    });
+    let trips = gen.generate_day_trips(0);
+    let mut rng = StdRng::seed_from_u64(7);
+    let drivers = sample_driver_positions(&trips, n_drivers, &mut rng);
+
+    let grid = Grid::nyc_16x16();
+    let travel = ConstantSpeedModel::default();
+    let real_series = count_trips(&trips, &grid);
+    let sim = Simulator::new(SimConfig::default(), &travel, &grid);
+
+    let oracle = || DemandOracle::real(real_series.clone(), 0);
+    let mut policies: Vec<Box<dyn DispatchPolicy>> = vec![
+        Box::new(QueueingPolicy::ls(DispatchConfig::default(), oracle())),
+        Box::new(QueueingPolicy::irg(DispatchConfig::default(), oracle())),
+        Box::new(QueueingPolicy::short(DispatchConfig::default(), oracle())),
+        Box::new(Polar::new(PolarConfig::default(), &oracle(), &grid, n_drivers)),
+        Box::new(Ltg::default()),
+        Box::new(Near::default()),
+        Box::new(Rand::new(5)),
+        Box::new(Upper),
+    ];
+
+    println!(
+        "{:<10} {:>14} {:>9} {:>9} {:>12}",
+        "policy", "revenue", "served", "reneged", "batch (ms)"
+    );
+    for p in policies.iter_mut() {
+        let res = sim.run(&trips, &drivers, p.as_mut());
+        println!(
+            "{:<10} {:>14.0} {:>9} {:>9} {:>12.2}",
+            res.policy,
+            res.total_revenue,
+            res.served,
+            res.reneged,
+            res.mean_batch_time_s() * 1000.0
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Cross-crate integration tests: a complete (small-scale) reproduction
+//! pipeline — generate a day, fit predictors, run every policy in the
+//! simulator — checking the qualitative relationships the paper reports.
+
+use mrvd::prelude::*;
+use rand::rngs::StdRng;
+
+/// A small but non-trivial scenario: ~8K orders, scarce drivers.
+struct Scenario {
+    trips: Vec<TripRecord>,
+    drivers: Vec<Point>,
+    grid: Grid,
+    travel: ConstantSpeedModel,
+    real_series: DemandSeries,
+}
+
+fn scenario(n_drivers: usize) -> Scenario {
+    let gen = NycLikeGenerator::new(NycLikeConfig {
+        orders_per_day: 8_000.0,
+        seed: 42,
+        ..NycLikeConfig::default()
+    });
+    let trips = gen.generate_day_trips(0);
+    let mut rng = StdRng::seed_from_u64(7);
+    let drivers = sample_driver_positions(&trips, n_drivers, &mut rng);
+    let grid = Grid::nyc_16x16();
+    let real_series = count_trips(&trips, &grid);
+    Scenario {
+        trips,
+        drivers,
+        grid,
+        travel: ConstantSpeedModel::default(),
+        real_series,
+    }
+}
+
+fn run(s: &Scenario, policy: &mut dyn DispatchPolicy) -> SimResult {
+    let sim = Simulator::new(SimConfig::default(), &s.travel, &s.grid);
+    sim.run(&s.trips, &s.drivers, policy)
+}
+
+fn real_oracle(s: &Scenario) -> DemandOracle {
+    DemandOracle::real(s.real_series.clone(), 0)
+}
+
+#[test]
+fn all_policies_complete_a_day_and_conserve_riders() {
+    let s = scenario(120);
+    let policies: Vec<Box<dyn DispatchPolicy>> = vec![
+        Box::new(QueueingPolicy::irg(DispatchConfig::default(), real_oracle(&s))),
+        Box::new(QueueingPolicy::ls(DispatchConfig::default(), real_oracle(&s))),
+        Box::new(QueueingPolicy::short(DispatchConfig::default(), real_oracle(&s))),
+        Box::new(Ltg::default()),
+        Box::new(Near::default()),
+        Box::new(Rand::new(5)),
+        Box::new(Polar::new(
+            PolarConfig::default(),
+            &real_oracle(&s),
+            &s.grid,
+            120,
+        )),
+        Box::new(Upper),
+    ];
+    for mut p in policies {
+        let res = run(&s, p.as_mut());
+        assert_eq!(
+            res.served + res.reneged + res.still_waiting,
+            res.total_riders,
+            "{}: rider conservation",
+            res.policy
+        );
+        assert!(res.served > 0, "{}: should serve someone", res.policy);
+        let sum: f64 = res.assignments.iter().map(|a| a.revenue).sum();
+        assert!(
+            (res.total_revenue - sum).abs() < 1e-6,
+            "{}: revenue consistency",
+            res.policy
+        );
+    }
+}
+
+#[test]
+fn upper_dominates_every_real_policy() {
+    let s = scenario(100);
+    let upper = run(&s, &mut Upper);
+    for mut p in [
+        Box::new(QueueingPolicy::ls(DispatchConfig::default(), real_oracle(&s)))
+            as Box<dyn DispatchPolicy>,
+        Box::new(Ltg::default()),
+        Box::new(Near::default()),
+        Box::new(Rand::new(5)),
+    ] {
+        let res = run(&s, p.as_mut());
+        assert!(
+            upper.total_revenue >= res.total_revenue,
+            "UPPER {} < {} of {}",
+            upper.total_revenue,
+            res.total_revenue,
+            res.policy
+        );
+    }
+}
+
+#[test]
+fn queueing_policies_beat_ltg_and_hold_up_against_rand() {
+    // The paper's headline ordering (LS ≥ IRG above the baselines) is a
+    // full-density effect — the experiment harness reproduces it at paper
+    // scale (see EXPERIMENTS.md). At this small CI-friendly scale the
+    // queueing policies must still clearly beat LTG and stay within noise
+    // of RAND (whose random driver choice gains an accidental
+    // rebalancing advantage only in sparse regimes).
+    let s = scenario(100);
+    let irg = run(
+        &s,
+        &mut QueueingPolicy::irg(DispatchConfig::default(), real_oracle(&s)),
+    );
+    let ls = run(
+        &s,
+        &mut QueueingPolicy::ls(DispatchConfig::default(), real_oracle(&s)),
+    );
+    let ltg = run(&s, &mut Ltg::default());
+    let rand = run(&s, &mut Rand::new(5));
+    assert!(
+        irg.total_revenue > ltg.total_revenue,
+        "IRG {} vs LTG {}",
+        irg.total_revenue,
+        ltg.total_revenue
+    );
+    assert!(
+        ls.total_revenue > ltg.total_revenue,
+        "LS {} vs LTG {}",
+        ls.total_revenue,
+        ltg.total_revenue
+    );
+    assert!(
+        irg.total_revenue > 0.97 * rand.total_revenue,
+        "IRG {} vs RAND {}",
+        irg.total_revenue,
+        rand.total_revenue
+    );
+    assert!(
+        ls.total_revenue > 0.97 * rand.total_revenue,
+        "LS {} vs RAND {}",
+        ls.total_revenue,
+        rand.total_revenue
+    );
+}
+
+#[test]
+fn short_serves_at_least_as_many_orders_as_ltg() {
+    // Appendix C: SHORT is the served-orders specialist; LTG chases
+    // revenue with long trips and serves fewer orders.
+    let s = scenario(100);
+    let short = run(
+        &s,
+        &mut QueueingPolicy::short(DispatchConfig::default(), real_oracle(&s)),
+    );
+    let ltg = run(&s, &mut Ltg::default());
+    assert!(
+        short.served >= ltg.served,
+        "SHORT {} vs LTG {}",
+        short.served,
+        ltg.served
+    );
+}
+
+#[test]
+fn more_drivers_mean_more_revenue() {
+    // The Figure 7 trend.
+    let small = scenario(60);
+    let large = scenario(200);
+    let r_small = run(
+        &small,
+        &mut QueueingPolicy::irg(DispatchConfig::default(), real_oracle(&small)),
+    );
+    let r_large = run(
+        &large,
+        &mut QueueingPolicy::irg(DispatchConfig::default(), real_oracle(&large)),
+    );
+    assert!(
+        r_large.total_revenue > r_small.total_revenue,
+        "200 drivers {} vs 60 drivers {}",
+        r_large.total_revenue,
+        r_small.total_revenue
+    );
+    assert!(r_large.served > r_small.served);
+}
+
+#[test]
+fn idle_estimates_pair_up_for_the_queueing_policies() {
+    let s = scenario(120);
+    let res = run(
+        &s,
+        &mut QueueingPolicy::irg(DispatchConfig::default(), real_oracle(&s)),
+    );
+    let pairs = res.idle_estimate_pairs();
+    assert!(
+        pairs.len() > 50,
+        "need a meaningful sample of (estimate, real) pairs, got {}",
+        pairs.len()
+    );
+    assert!(pairs.iter().all(|&(e, r)| e >= 0.0 && r >= 0.0));
+}
+
+#[test]
+fn predicted_oracle_end_to_end() {
+    // Train HA on 8 history days of counts, then dispatch with IRG-P.
+    let gen = NycLikeGenerator::new(NycLikeConfig {
+        orders_per_day: 6_000.0,
+        seed: 9,
+        ..NycLikeConfig::default()
+    });
+    let history = gen.generate_counts(9); // days 0..8 = history, day 8 replaced below
+    let trips = gen.generate_day_trips(8);
+    let grid = Grid::nyc_16x16();
+    // Build the full series: history days 0..8 + the realized test day 8.
+    let mut series = history;
+    let realized = count_trips(&trips, &grid);
+    for slot in 0..SLOTS_PER_DAY {
+        for r in 0..grid.num_regions() {
+            series.set(8, slot, r, realized.get(0, slot, r));
+        }
+    }
+    let mut ha = HistoricalAverage;
+    ha.fit(&series, 8);
+    let oracle = DemandOracle::predicted(Box::new(ha), series, 8);
+    let mut policy = QueueingPolicy::irg(DispatchConfig::default(), oracle);
+    assert_eq!(policy.name(), "IRG-P");
+    let mut rng = StdRng::seed_from_u64(3);
+    let drivers = sample_driver_positions(&trips, 80, &mut rng);
+    let travel = ConstantSpeedModel::default();
+    let sim = Simulator::new(SimConfig::default(), &travel, &grid);
+    let res = sim.run(&trips, &drivers, &mut policy);
+    assert!(res.served > 0);
+}

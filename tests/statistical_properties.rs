@@ -1,0 +1,130 @@
+//! Statistical integration tests: the generated workload really has the
+//! properties the paper's analysis assumes, end to end.
+
+use mrvd::prelude::*;
+use mrvd::stats::chi_square_gof_poisson;
+
+#[test]
+fn generated_arrivals_pass_the_papers_chi_square_protocol() {
+    // Appendix B protocol: 21 weekdays × 10 one-minute counts at 8 A.M.
+    // in a core rectangle; the Poisson hypothesis must hold.
+    let gen = NycLikeGenerator::new(NycLikeConfig {
+        orders_per_day: 60_000.0,
+        seed: 123,
+        ..NycLikeConfig::default()
+    });
+    let in_rect = |p: Point| p.lon >= -74.01 && p.lon < -73.97 && p.lat >= 40.70 && p.lat < 40.80;
+    let mut samples: Vec<u64> = Vec::new();
+    let mut day = 0usize;
+    let mut weekdays = 0;
+    while weekdays < 21 {
+        if day % 7 < 5 {
+            let trips = gen.generate_day_trips(day);
+            let mut counts = [0u64; 10];
+            for t in &trips {
+                let minute = t.request_ms / 60_000;
+                if (480..490).contains(&minute) && in_rect(t.pickup) {
+                    counts[(minute - 480) as usize] += 1;
+                }
+            }
+            samples.extend_from_slice(&counts);
+            weekdays += 1;
+        }
+        day += 1;
+    }
+    assert_eq!(samples.len(), 210);
+    let outcome = chi_square_gof_poisson(&samples, 0.05, 5.0);
+    assert!(
+        outcome.accepted,
+        "Poisson hypothesis rejected: k = {:.3} ≥ {:.3}",
+        outcome.statistic, outcome.critical
+    );
+    assert!(outcome.lambda_hat > 1.0, "rate too small to be meaningful");
+}
+
+#[test]
+fn day_volumes_follow_weekly_structure() {
+    let gen = NycLikeGenerator::new(NycLikeConfig {
+        orders_per_day: 30_000.0,
+        seed: 3,
+        ..NycLikeConfig::default()
+    });
+    let counts = gen.generate_counts(14);
+    // Sundays (days 6, 13) are the quietest days of their weeks.
+    for week in 0..2 {
+        let base = week * 7;
+        let day_total =
+            |d: usize| -> f64 { (0..SLOTS_PER_DAY).map(|s| counts.slot_total(d, s)).sum() };
+        let sunday = day_total(base + 6);
+        for d in 0..5 {
+            assert!(
+                sunday < day_total(base + d),
+                "week {week}: Sunday ({sunday}) not quietest"
+            );
+        }
+    }
+}
+
+#[test]
+fn trips_peak_in_the_morning_and_evening() {
+    let gen = NycLikeGenerator::new(NycLikeConfig {
+        orders_per_day: 40_000.0,
+        seed: 5,
+        ..NycLikeConfig::default()
+    });
+    let trips = gen.generate_day_trips(0);
+    let hour_count = |h: u64| {
+        trips
+            .iter()
+            .filter(|t| t.request_ms / 3_600_000 == h)
+            .count()
+    };
+    let am_rush = hour_count(8);
+    let pm_rush = hour_count(18);
+    let night = hour_count(3);
+    assert!(am_rush > 3 * night, "8am {am_rush} vs 3am {night}");
+    assert!(pm_rush > 3 * night, "6pm {pm_rush} vs 3am {night}");
+}
+
+#[test]
+fn morning_trips_flow_into_the_core() {
+    // Example 1's imbalance: at 8 A.M., the Midtown cell receives more
+    // dropoffs than it emits pickups.
+    let gen = NycLikeGenerator::new(NycLikeConfig {
+        orders_per_day: 80_000.0,
+        seed: 2,
+        ..NycLikeConfig::default()
+    });
+    let grid = Grid::nyc_16x16();
+    let midtown = grid.region_of(Point::new(-73.985, 40.755));
+    let trips = gen.generate_day_trips(0);
+    let (mut inflow, mut outflow) = (0, 0);
+    for t in &trips {
+        let h = t.request_ms / 3_600_000;
+        if !(7..10).contains(&h) {
+            continue;
+        }
+        if grid.region_of(t.dropoff) == midtown {
+            inflow += 1;
+        }
+        if grid.region_of(t.pickup) == midtown {
+            outflow += 1;
+        }
+    }
+    assert!(
+        inflow > outflow,
+        "morning Midtown inflow {inflow} ≤ outflow {outflow}"
+    );
+}
+
+#[test]
+fn expected_idle_time_is_consistent_with_generated_region_rates() {
+    // Plug realistic morning rates of a core region into the closed form
+    // and sanity-check the magnitude: with λ ≈ 20 riders per window and a
+    // couple of competing drivers, idle should be well under the window.
+    let lambda = 20.0 / 900.0;
+    let mu = 5.0 / 900.0;
+    let params = QueueParams::new(lambda, mu, 8, Reneging::Exp { beta: 0.05 });
+    let et = expected_idle_time(&params).expect("converges");
+    assert!(et > 0.0 && et < 900.0, "ET {et}");
+}
