@@ -5,9 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mrvd_bench::BatchFixture;
-use mrvd_core::{
-    DispatchConfig, Ltg, Near, Polar, PolarConfig, QueueingPolicy, Rand,
-};
+use mrvd_core::{DispatchConfig, Ltg, Near, Polar, PolarConfig, QueueingPolicy, Rand};
 use mrvd_sim::{BatchContext, DispatchPolicy};
 use mrvd_spatial::ConstantSpeedModel;
 
@@ -26,7 +24,11 @@ fn bench_policies(c: &mut Criterion) {
     let travel = ConstantSpeedModel::default();
     let mut g = c.benchmark_group("batch_assign");
     g.sample_size(20);
-    for &(riders, avail, busy) in &[(200usize, 20usize, 500usize), (600, 60, 1500), (1200, 120, 3000)] {
+    for &(riders, avail, busy) in &[
+        (200usize, 20usize, 500usize),
+        (600, 60, 1500),
+        (1200, 120, 3000),
+    ] {
         let f = BatchFixture::rush_hour(riders, avail, busy, 7);
         let size = format!("{riders}r/{avail}d");
         g.bench_with_input(BenchmarkId::new("IRG", &size), &f, |b, f| {
@@ -54,7 +56,12 @@ fn bench_policies(c: &mut Criterion) {
             b.iter(|| p.assign(&ctx(f, &travel)))
         });
         g.bench_with_input(BenchmarkId::new("POLAR", &size), &f, |b, f| {
-            let mut p = Polar::new(PolarConfig::default(), &f.oracle(), &f.grid, f.drivers.len());
+            let mut p = Polar::new(
+                PolarConfig::default(),
+                &f.oracle(),
+                &f.grid,
+                f.drivers.len(),
+            );
             b.iter(|| p.assign(&ctx(f, &travel)))
         });
     }

@@ -10,10 +10,22 @@ use mrvd_queueing::{expected_idle_time, QueueParams, Reneging, SteadyState};
 fn bench_expected_idle_time(c: &mut Criterion) {
     let mut g = c.benchmark_group("expected_idle_time");
     let cases = [
-        ("riders_exceed", QueueParams::new(0.05, 0.01, 20, Reneging::Exp { beta: 0.05 })),
-        ("drivers_exceed", QueueParams::new(0.01, 0.05, 20, Reneging::Exp { beta: 0.05 })),
-        ("balanced", QueueParams::new(0.02, 0.02, 20, Reneging::Exp { beta: 0.05 })),
-        ("large_k", QueueParams::new(0.01, 0.05, 2_000, Reneging::Exp { beta: 0.05 })),
+        (
+            "riders_exceed",
+            QueueParams::new(0.05, 0.01, 20, Reneging::Exp { beta: 0.05 }),
+        ),
+        (
+            "drivers_exceed",
+            QueueParams::new(0.01, 0.05, 20, Reneging::Exp { beta: 0.05 }),
+        ),
+        (
+            "balanced",
+            QueueParams::new(0.02, 0.02, 20, Reneging::Exp { beta: 0.05 }),
+        ),
+        (
+            "large_k",
+            QueueParams::new(0.01, 0.05, 2_000, Reneging::Exp { beta: 0.05 }),
+        ),
     ];
     for (name, params) in cases {
         g.bench_function(name, |b| {
@@ -36,7 +48,12 @@ fn bench_region_table(c: &mut Criterion) {
         .map(|k| {
             let lambda = 0.001 + (k % 17) as f64 * 0.003;
             let mu = 0.001 + (k % 11) as f64 * 0.004;
-            QueueParams::new(lambda, mu, 5 + (k % 40) as u64, Reneging::Exp { beta: 0.05 })
+            QueueParams::new(
+                lambda,
+                mu,
+                5 + (k % 40) as u64,
+                Reneging::Exp { beta: 0.05 },
+            )
         })
         .collect();
     c.bench_function("et_table_256_regions", |b| {

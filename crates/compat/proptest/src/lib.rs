@@ -1,0 +1,124 @@
+//! Offline stand-in for `proptest`: the [`proptest!`] macro backed by a
+//! fixed-seed sampling loop instead of real shrinking/persistence. Each
+//! generated test draws [`CASES`] inputs from its strategies with a
+//! deterministic [`rand::rngs::StdRng`], so runs are reproducible and
+//! fast — the "fast seeded smoke" flavor of property testing. Supported
+//! strategy surface: primitive ranges (`0u64..150`, `-1e3f64..1e3`),
+//! tuples of strategies, and [`collection::vec`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+
+/// Inputs drawn per property test (real proptest defaults to 256; the
+/// tier-1 suite trades depth for wall-clock here).
+pub const CASES: usize = 64;
+
+/// A source of random test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform + Clone> Strategy for core::ops::Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform + Clone> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Vectors of `size` elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything the test modules import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+/// Asserts a property holds; panics (failing the case) otherwise.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two expressions are equal within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` over [`CASES`] sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$attr:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                use $crate::Strategy as _;
+                // Seed folds in the test name so sibling tests explore
+                // different input streams, deterministically.
+                let mut __seed: u64 = 0xcbf29ce484222325; // FNV-1a offset basis
+                for b in stringify!($name).bytes() {
+                    __seed = __seed.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
+                }
+                let mut __rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(__seed);
+                for __case in 0..$crate::CASES {
+                    $( let $arg = ($strat).sample(&mut __rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,312 @@
+//! Offline stand-in for `serde_json`: the [`json!`] macro, a [`Value`]
+//! tree, and [`to_string_pretty`] — the subset `mrvd-experiments` uses to
+//! dump tables and figures. No registry access in the build environment,
+//! so this lives in-tree as a path dependency. Object keys keep insertion
+//! order; non-finite floats serialize as `null` like real `serde_json`.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as the originating Rust number).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: integer or finite float.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Finite float (non-finite floats become [`Value::Null`]).
+    Float(f64),
+}
+
+/// Serialization failure. The in-tree `Value` tree is always
+/// serializable, so this is never constructed; it exists so call sites
+/// can keep real `serde_json`'s `Result` signature and `.expect(..)`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into a [`Value`] — the role `serde::Serialize` plays for
+/// real `serde_json`, flattened into one trait.
+pub trait ToJson {
+    /// Converts `self` into a JSON value.
+    fn to_json_value(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! to_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::Int(*self as i64))
+            }
+        }
+    )*};
+}
+
+to_json_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl ToJson for u64 {
+    fn to_json_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(v) => Value::Number(Number::Int(v)),
+            Err(_) => Value::Number(Number::UInt(*self)),
+        }
+    }
+}
+
+impl ToJson for usize {
+    fn to_json_value(&self) -> Value {
+        (*self as u64).to_json_value()
+    }
+}
+
+macro_rules! to_json_float {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json_value(&self) -> Value {
+                let v = *self as f64;
+                if v.is_finite() {
+                    Value::Number(Number::Float(v))
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    )*};
+}
+
+to_json_float!(f32, f64);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Builds a [`Value`] from JSON-looking syntax: `json!(null)`,
+/// `json!([a, b])`, `json!({ "k": v, .. })`, or any expression whose type
+/// implements [`ToJson`].
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $( $elem:expr ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::ToJson::to_json_value(&$elem) ),* ])
+    };
+    ({ $( $key:literal : $val:expr ),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::ToJson::to_json_value(&$val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::ToJson::to_json_value(&$other) };
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match n {
+        Number::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::UInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::Float(v) => {
+            // Round-trippable shortest float; keep a `.0` so integers
+            // written as floats still read back as floats.
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    const STEP: usize = 2;
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent + STEP));
+                write_pretty(out, item, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent + STEP));
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, val, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-prints a value as two-space-indented JSON.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, &value.to_json_value(), 0);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_collections_serialize() {
+        assert_eq!(to_string_pretty(&json!(null)).unwrap(), "null");
+        assert_eq!(to_string_pretty(&json!(true)).unwrap(), "true");
+        assert_eq!(to_string_pretty(&json!(3)).unwrap(), "3");
+        assert_eq!(to_string_pretty(&json!(2.5)).unwrap(), "2.5");
+        assert_eq!(to_string_pretty(&json!(2.0)).unwrap(), "2.0");
+        assert_eq!(to_string_pretty(&json!(f64::NAN)).unwrap(), "null");
+        assert_eq!(
+            to_string_pretty(&json!("hi\n\"x\"")).unwrap(),
+            "\"hi\\n\\\"x\\\"\""
+        );
+        let v = vec![1.0, 2.0];
+        assert_eq!(json!(v.clone()), Value::Array(vec![json!(1.0), json!(2.0)]));
+        assert_eq!(json!(["a", "b"]), json!(vec!["a", "b"]));
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let rows: Vec<Value> = (0..2).map(|i| json!({ "i": i })).collect();
+        let v = json!({ "zeta": 1, "alpha": rows, "nested": json!({ "k": [1, 2] }) });
+        let s = to_string_pretty(&v).unwrap();
+        let zeta = s.find("zeta").unwrap();
+        let alpha = s.find("alpha").unwrap();
+        assert!(zeta < alpha, "insertion order lost:\n{s}");
+        assert!(s.contains("\"k\": [\n      1,\n      2\n    ]"), "{s}");
+    }
+
+    #[test]
+    fn references_and_u64_serialize() {
+        let n: u64 = u64::MAX;
+        let r = &n;
+        assert_eq!(to_string_pretty(&json!(r)).unwrap(), u64::MAX.to_string());
+        let s = String::from("x");
+        let v = json!({ "s": &s, "opt": Some(1), "none": Option::<i32>::None });
+        assert!(to_string_pretty(&v).unwrap().contains("\"none\": null"));
+    }
+}

@@ -176,7 +176,12 @@ mod tests {
         }
     }
 
-    fn fixture() -> (Grid, ConstantSpeedModel, Vec<WaitingRider>, Vec<AvailableDriver>) {
+    fn fixture() -> (
+        Grid,
+        ConstantSpeedModel,
+        Vec<WaitingRider>,
+        Vec<AvailableDriver>,
+    ) {
         let grid = Grid::nyc_16x16();
         let travel = ConstantSpeedModel::new(8.0);
         let riders = vec![
@@ -185,9 +190,7 @@ mod tests {
             // Short trip, pickup right on top of driver 0.
             rider(1, Point::new(-73.98, 40.75), Point::new(-73.975, 40.755)),
         ];
-        let drivers = vec![
-            driver(0, Point::new(-73.98, 40.75)),
-        ];
+        let drivers = vec![driver(0, Point::new(-73.98, 40.75))];
         (grid, travel, riders, drivers)
     }
 

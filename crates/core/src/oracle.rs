@@ -59,7 +59,11 @@ impl DemandOracle {
     }
 
     /// Builds the predicted-demand oracle from an already-fitted model.
-    pub fn predicted(predictor: Box<dyn Predictor + Send>, series: DemandSeries, day: usize) -> Self {
+    pub fn predicted(
+        predictor: Box<dyn Predictor + Send>,
+        series: DemandSeries,
+        day: usize,
+    ) -> Self {
         assert!(day < series.days(), "DemandOracle: day out of range");
         DemandOracle::Predicted {
             predictor,
@@ -107,8 +111,7 @@ impl DemandOracle {
         for s in s0..=s_last.min(spd - 1) {
             let slot_start = s as u64 * SLOT_MS;
             let slot_end = slot_start + SLOT_MS;
-            let overlap =
-                (end_ms.min(slot_end) - now_ms.max(slot_start)) as f64 / SLOT_MS as f64;
+            let overlap = (end_ms.min(slot_end) - now_ms.max(slot_start)) as f64 / SLOT_MS as f64;
             let frame = self.slot_counts(s0, s);
             for r in 0..regions {
                 out[r] += overlap * frame[r];
@@ -134,9 +137,7 @@ impl DemandOracle {
                     cache.base_slot = Some(base_slot);
                     cache.frames.clear();
                     // Restore the realized past into the scratch series.
-                    let scratch = cache
-                        .scratch
-                        .get_or_insert_with(|| series.clone());
+                    let scratch = cache.scratch.get_or_insert_with(|| series.clone());
                     for s in 0..series.slots_per_day() {
                         for r in 0..series.regions() {
                             scratch.set(*day, s, r, series.get(*day, s, r));

@@ -89,7 +89,11 @@ impl Polar {
             // Supply: the fleet distributed like the previous slot's
             // demand (slot 0 uses its own demand — the fleet is seeded
             // from historical pickups).
-            let supply_src = if slot == 0 { &demand[0] } else { &demand[slot - 1] };
+            let supply_src = if slot == 0 {
+                &demand[0]
+            } else {
+                &demand[slot - 1]
+            };
             let total: f64 = supply_src.iter().sum();
             let mut supply: Vec<f64> = if total > 0.0 {
                 supply_src
@@ -154,7 +158,13 @@ impl DispatchPolicy for Polar {
                 let driver_region = ctx.grid.region_of(ctx.drivers[d].pos).0;
                 let key = (driver_region, rider_region);
                 let aligned = self.remaining.get(&key).copied().unwrap_or(0.0) > 0.0;
-                let score = revenue * (1.0 + if aligned { self.cfg.blueprint_bonus } else { 0.0 });
+                let score = revenue
+                    * (1.0
+                        + if aligned {
+                            self.cfg.blueprint_bonus
+                        } else {
+                            0.0
+                        });
                 edges.push(Scored {
                     score,
                     rider: r,
@@ -200,13 +210,19 @@ mod tests {
 
     fn oracle(grid: &Grid) -> DemandOracle {
         let hot = grid.region_of(Point::new(-73.985, 40.755)).idx();
-        let series = DemandSeries::from_fn(1, 48, grid.num_regions(), |_, _, r| {
-            if r == hot {
-                20.0
-            } else {
-                0.5
-            }
-        });
+        let series =
+            DemandSeries::from_fn(
+                1,
+                48,
+                grid.num_regions(),
+                |_, _, r| {
+                    if r == hot {
+                        20.0
+                    } else {
+                        0.5
+                    }
+                },
+            );
         DemandOracle::real(series, 0)
     }
 

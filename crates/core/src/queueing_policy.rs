@@ -134,7 +134,11 @@ impl DispatchPolicy for QueueingPolicy {
             (SearchMode::Greedy, PriorityRule::TotalTime) => "SHORT",
             (SearchMode::LocalSearch { .. }, PriorityRule::TotalTime) => "SHORT-LS",
         };
-        let ablation = if self.cfg.uniform_et { " (uniform ET)" } else { "" };
+        let ablation = if self.cfg.uniform_et {
+            " (uniform ET)"
+        } else {
+            ""
+        };
         format!("{algo}-{}{ablation}", self.oracle.label())
     }
 
@@ -242,7 +246,8 @@ impl DispatchPolicy for QueueingPolicy {
                         mu[to] += 1.0 / tc_s;
                         cap[to] += 1;
                         if !self.cfg.uniform_et {
-                            et[from] = et_for(lambda[from], mu[from], cap[from], self.cfg.beta, tc_s);
+                            et[from] =
+                                et_for(lambda[from], mu[from], cap[from], self.cfg.beta, tc_s);
                             et[to] = et_for(lambda[to], mu[to], cap[to], self.cfg.beta, tc_s);
                         }
                         changed = true;
@@ -336,10 +341,15 @@ mod tests {
         let to_cold = rider(1, base, COLD);
         let riders = [to_hot, to_cold];
         let drivers = [driver(0, base)];
-        let mut policy = QueueingPolicy::irg(DispatchConfig::default(), oracle_with_hot(&grid, 50.0));
+        let mut policy =
+            QueueingPolicy::irg(DispatchConfig::default(), oracle_with_hot(&grid, 50.0));
         let out = policy.assign(&ctx(&grid, &travel, &riders, &drivers));
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].rider, RiderId(0), "should pick the hot-destination rider");
+        assert_eq!(
+            out[0].rider,
+            RiderId(0),
+            "should pick the hot-destination rider"
+        );
         assert!(out[0].estimated_idle_s.is_some());
     }
 
@@ -357,10 +367,15 @@ mod tests {
         long_trip.deadline_ms = 1_500_000;
         let riders = [short_trip, long_trip];
         let drivers = [driver(0, Point::new(-74.0, 40.7))];
-        let mut policy = QueueingPolicy::irg(DispatchConfig::default(), oracle_with_hot(&grid, 5.0));
+        let mut policy =
+            QueueingPolicy::irg(DispatchConfig::default(), oracle_with_hot(&grid, 5.0));
         let out = policy.assign(&ctx(&grid, &travel, &riders, &drivers));
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].rider, RiderId(1), "should pick the long trip (rule a)");
+        assert_eq!(
+            out[0].rider,
+            RiderId(1),
+            "should pick the long trip (rule a)"
+        );
     }
 
     #[test]
@@ -420,7 +435,10 @@ mod tests {
         // A crowd of riders and a few drivers around Midtown.
         let mut riders = Vec::new();
         for i in 0..12u32 {
-            let pickup = Point::new(-73.98 + 0.002 * (i % 4) as f64, 40.75 + 0.002 * (i / 4) as f64);
+            let pickup = Point::new(
+                -73.98 + 0.002 * (i % 4) as f64,
+                40.75 + 0.002 * (i / 4) as f64,
+            );
             let dropoff = if i % 3 == 0 { HOT } else { COLD };
             riders.push(rider(i, pickup, dropoff));
         }
@@ -445,8 +463,7 @@ mod tests {
         let assigned: std::collections::HashMap<u32, u32> =
             out.iter().map(|a| (a.driver.0, a.rider.0)).collect();
         let taken: std::collections::HashSet<u32> = out.iter().map(|a| a.rider.0).collect();
-        let dest =
-            |r: &WaitingRider| grid.region_of(r.dropoff).idx();
+        let dest = |r: &WaitingRider| grid.region_of(r.dropoff).idx();
         for a in &out {
             let r = &riders[a.rider.0 as usize];
             let k = dest(r);
@@ -486,10 +503,11 @@ mod tests {
         r.deadline_ms = 30_000;
         let riders = [r];
         let drivers = [
-            driver(0, Point::new(-74.02, 40.60)), // far
+            driver(0, Point::new(-74.02, 40.60)),   // far
             driver(1, Point::new(-73.981, 40.751)), // near
         ];
-        let mut policy = QueueingPolicy::irg(DispatchConfig::default(), oracle_with_hot(&grid, 5.0));
+        let mut policy =
+            QueueingPolicy::irg(DispatchConfig::default(), oracle_with_hot(&grid, 5.0));
         let out = policy.assign(&ctx(&grid, &travel, &riders, &drivers));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].driver, DriverId(1));
@@ -499,7 +517,8 @@ mod tests {
     fn empty_batches_return_empty() {
         let grid = Grid::nyc_16x16();
         let travel = ConstantSpeedModel::new(8.0);
-        let mut policy = QueueingPolicy::irg(DispatchConfig::default(), oracle_with_hot(&grid, 5.0));
+        let mut policy =
+            QueueingPolicy::irg(DispatchConfig::default(), oracle_with_hot(&grid, 5.0));
         assert!(policy.assign(&ctx(&grid, &travel, &[], &[])).is_empty());
         let drivers = [driver(0, HOT)];
         assert!(policy

@@ -200,15 +200,18 @@ mod tests {
         // Flip: 1 rider, 3 drivers, 2 rejoining.
         let riders = [rider(p)];
         let drivers = [driver(p), driver(p), driver(p)];
-        let busy = [BusyDriver {
-            id: DriverId(9),
-            dropoff_ms: 100_000,
-            dropoff_pos: p,
-        }, BusyDriver {
-            id: DriverId(10),
-            dropoff_ms: 550_000,
-            dropoff_pos: p,
-        }];
+        let busy = [
+            BusyDriver {
+                id: DriverId(9),
+                dropoff_ms: 100_000,
+                dropoff_pos: p,
+            },
+            BusyDriver {
+                id: DriverId(10),
+                dropoff_ms: 550_000,
+                dropoff_pos: p,
+            },
+        ];
         let ctx = ctx_fixture(&grid, &travel, &riders, &drivers, &busy);
         let est = estimate_rates(&ctx, &upcoming, &cfg);
         // |R_k| ≤ |D_k|: λ = 5/600, μ = (2 + 3 − 1)/600.

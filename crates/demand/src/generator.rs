@@ -102,10 +102,10 @@ impl NycLikeGenerator {
                 let rate = self.profile.expected_slot_count(day, slot, region);
                 let n = sample_poisson(&mut rng, rate);
                 for _ in 0..n {
-                    let request_ms =
-                        slot as u64 * SLOT_MS + rng.gen_range(0..SLOT_MS);
+                    let request_ms = slot as u64 * SLOT_MS + rng.gen_range(0..SLOT_MS);
                     let pickup = self.random_point_in(region, &mut rng);
-                    let dropoff = self.sample_destination(region, &dest_w, &dest_cum, pickup, &mut rng);
+                    let dropoff =
+                        self.sample_destination(region, &dest_w, &dest_cum, pickup, &mut rng);
                     trips.push(TripRecord {
                         id,
                         request_ms,
@@ -157,10 +157,7 @@ impl NycLikeGenerator {
     /// Uniform point inside a region's cell.
     fn random_point_in(&self, region: RegionId, rng: &mut StdRng) -> Point {
         let (lo, hi) = self.grid.cell_box(region);
-        Point::new(
-            rng.gen_range(lo.lon..hi.lon),
-            rng.gen_range(lo.lat..hi.lat),
-        )
+        Point::new(rng.gen_range(lo.lon..hi.lon), rng.gen_range(lo.lat..hi.lat))
     }
 
     /// Gravity-model destination: region `j` with probability
@@ -246,10 +243,8 @@ impl UniformGenerator {
                 for _ in 0..n {
                     let request_ms = slot as u64 * SLOT_MS + rng.gen_range(0..SLOT_MS);
                     let (lo, hi) = self.grid.cell_box(region);
-                    let pickup = Point::new(
-                        rng.gen_range(lo.lon..hi.lon),
-                        rng.gen_range(lo.lat..hi.lat),
-                    );
+                    let pickup =
+                        Point::new(rng.gen_range(lo.lon..hi.lon), rng.gen_range(lo.lat..hi.lat));
                     let dropoff = Point::new(
                         rng.gen_range(self.grid.min().lon..self.grid.max().lon),
                         rng.gen_range(self.grid.min().lat..self.grid.max().lat),
@@ -352,10 +347,7 @@ mod tests {
             .map(|t| model.travel_time_s(t.pickup, t.dropoff))
             .collect();
         let mean = durs.iter().sum::<f64>() / durs.len() as f64;
-        assert!(
-            (480.0..1_200.0).contains(&mean),
-            "mean duration {mean:.0}s"
-        );
+        assert!((480.0..1_200.0).contains(&mean), "mean duration {mean:.0}s");
         let under20 = durs.iter().filter(|&&d| d < 1_200.0).count() as f64 / durs.len() as f64;
         assert!(under20 > 0.6, "only {under20:.2} of trips under 20 min");
     }

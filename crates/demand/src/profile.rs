@@ -105,7 +105,9 @@ fn residential_hotspots() -> Vec<Hotspot> {
 /// Unnormalized time-of-day demand density, hours in `[0, 24)`.
 fn time_curve(h: f64) -> f64 {
     let bump = |mu: f64, sigma: f64| (-((h - mu) * (h - mu)) / (2.0 * sigma * sigma)).exp();
-    0.18 + 1.00 * bump(8.25, 1.3) + 0.45 * bump(13.5, 2.5) + 0.95 * bump(18.5, 1.8)
+    0.18 + 1.00 * bump(8.25, 1.3)
+        + 0.45 * bump(13.5, 2.5)
+        + 0.95 * bump(18.5, 1.8)
         + 0.35 * bump(22.0, 1.5)
 }
 
@@ -193,7 +195,8 @@ impl NycProfile {
     pub fn day_factor(&self, day: usize) -> f64 {
         let dow = DOW_FACTOR[day % 7];
         // Box–Muller from a per-day-seeded RNG.
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (day as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (day as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let u1: f64 = rng.gen_range(1e-12..1.0);
         let u2: f64 = rng.gen();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
@@ -280,11 +283,7 @@ mod tests {
         let p = profile();
         // Monday (day 0): factor ≈ 1 up to weather noise.
         let total: f64 = (0..SLOTS_PER_DAY)
-            .flat_map(|s| {
-                p.grid()
-                    .regions()
-                    .map(move |r| (s, r))
-            })
+            .flat_map(|s| p.grid().regions().map(move |r| (s, r)))
             .map(|(s, r)| p.expected_slot_count(0, s, r))
             .sum();
         let target = 282_255.0 * p.day_factor(0);

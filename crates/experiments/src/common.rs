@@ -188,7 +188,10 @@ impl World {
             },
         );
         graphconv.fit(series, TRAIN_DAYS);
-        eprintln!("[world] DeepST-GC fitted ({:.1}s)", t.elapsed().as_secs_f64());
+        eprintln!(
+            "[world] DeepST-GC fitted ({:.1}s)",
+            t.elapsed().as_secs_f64()
+        );
         TrainedModels {
             ha: Box::new(ha),
             lr: Box::new(lr),
@@ -327,7 +330,10 @@ impl PolicySpec {
     /// Whether the per-batch behaviour depends on the scheduling window
     /// `t_c` (used to reuse runs across the Figure 9 sweep).
     pub fn depends_on_tc(&self) -> bool {
-        !matches!(self, PolicySpec::Ltg | PolicySpec::Near | PolicySpec::Rand | PolicySpec::Upper)
+        !matches!(
+            self,
+            PolicySpec::Ltg | PolicySpec::Near | PolicySpec::Rand | PolicySpec::Upper
+        )
     }
 
     /// Builds the policy for one run.
@@ -339,7 +345,9 @@ impl PolicySpec {
         instance: usize,
     ) -> Box<dyn DispatchPolicy> {
         match self {
-            PolicySpec::Irg(o) => Box::new(QueueingPolicy::irg(dispatch_cfg.clone(), o.build(world))),
+            PolicySpec::Irg(o) => {
+                Box::new(QueueingPolicy::irg(dispatch_cfg.clone(), o.build(world)))
+            }
             PolicySpec::Ls(o) => Box::new(QueueingPolicy::ls(dispatch_cfg.clone(), o.build(world))),
             PolicySpec::Short(o) => {
                 Box::new(QueueingPolicy::short(dispatch_cfg.clone(), o.build(world)))
@@ -473,17 +481,16 @@ where
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let jobs_ref = &jobs;
     let f_ref = &f;
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.max(1).min(n.max(1)) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let next = queue.lock().expect("queue lock").pop_front();
                 let Some(i) = next else { break };
                 let r = f_ref(&jobs_ref[i]);
                 *results[i].lock().expect("result lock") = Some(r);
             });
         }
-    })
-    .expect("worker pool panicked");
+    });
     results
         .into_iter()
         .map(|m| m.into_inner().expect("poisoned").expect("job skipped"))
@@ -512,11 +519,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
         s
     };
+    println!("{}", line(headers.iter().map(|h| h.to_string()).collect()));
     println!(
         "{}",
-        line(headers.iter().map(|h| h.to_string()).collect())
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
     for row in rows {
         println!("{}", line(row.clone()));
     }
@@ -530,7 +537,10 @@ pub fn dump_json(opts: &Options, name: &str, value: serde_json::Value) {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match std::fs::write(&path, serde_json::to_string_pretty(&value).expect("serializable")) {
+    match std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&value).expect("serializable"),
+    ) {
         Ok(()) => eprintln!("[out] wrote {}", path.display()),
         Err(e) => eprintln!("[warn] cannot write {}: {e}", path.display()),
     }
@@ -576,10 +586,7 @@ mod tests {
             "IRG-P[GBRT]"
         );
         assert_eq!(PolicySpec::Upper.label(), "UPPER");
-        assert_eq!(
-            PolicySpec::IrgUniformEt(OracleKind::Real).label(),
-            "IRG-R*"
-        );
+        assert_eq!(PolicySpec::IrgUniformEt(OracleKind::Real).label(), "IRG-R*");
     }
 
     #[test]

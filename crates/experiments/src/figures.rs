@@ -70,8 +70,8 @@ impl Sweep {
         for (si, spec) in specs.iter().enumerate() {
             if reuse_param_independent && !spec.depends_on_tc() {
                 let first = cells[si][0].clone();
-                for vi in 1..values.len() {
-                    cells[si][vi] = first.clone();
+                for cell in &mut cells[si][1..] {
+                    *cell = first.clone();
                 }
             }
         }
@@ -130,12 +130,16 @@ pub fn fig7(world: &World) {
         })
         .collect();
     let sweep = Sweep::run(world, "n", specs, values, false);
-    sweep.print("Figure 7(a) — total revenue vs number of drivers", "revenue", |c| {
-        format!("{:.0}", c.revenue)
-    });
-    sweep.print("Figure 7(b) — batch running time (ms) vs n", "batch", |c| {
-        format!("{:.2}", c.batch_time_s * 1000.0)
-    });
+    sweep.print(
+        "Figure 7(a) — total revenue vs number of drivers",
+        "revenue",
+        |c| format!("{:.0}", c.revenue),
+    );
+    sweep.print(
+        "Figure 7(b) — batch running time (ms) vs n",
+        "batch",
+        |c| format!("{:.2}", c.batch_time_s * 1000.0),
+    );
     dump_json(&world.opts, "fig7", sweep.to_json());
 }
 
@@ -151,12 +155,16 @@ pub fn fig8(world: &World) {
         })
         .collect();
     let sweep = Sweep::run(world, "Δ", sweep_specs(), values, false);
-    sweep.print("Figure 8(a) — total revenue vs batch interval Δ", "revenue", |c| {
-        format!("{:.0}", c.revenue)
-    });
-    sweep.print("Figure 8(b) — batch running time (ms) vs Δ", "batch", |c| {
-        format!("{:.2}", c.batch_time_s * 1000.0)
-    });
+    sweep.print(
+        "Figure 8(a) — total revenue vs batch interval Δ",
+        "revenue",
+        |c| format!("{:.0}", c.revenue),
+    );
+    sweep.print(
+        "Figure 8(b) — batch running time (ms) vs Δ",
+        "batch",
+        |c| format!("{:.2}", c.batch_time_s * 1000.0),
+    );
     dump_json(&world.opts, "fig8", sweep.to_json());
 }
 
@@ -173,12 +181,16 @@ pub fn fig9(world: &World) {
         })
         .collect();
     let sweep = Sweep::run(world, "t_c", sweep_specs(), values, true);
-    sweep.print("Figure 9(a) — total revenue vs time window t_c", "revenue", |c| {
-        format!("{:.0}", c.revenue)
-    });
-    sweep.print("Figure 9(b) — batch running time (ms) vs t_c", "batch", |c| {
-        format!("{:.2}", c.batch_time_s * 1000.0)
-    });
+    sweep.print(
+        "Figure 9(a) — total revenue vs time window t_c",
+        "revenue",
+        |c| format!("{:.0}", c.revenue),
+    );
+    sweep.print(
+        "Figure 9(b) — batch running time (ms) vs t_c",
+        "batch",
+        |c| format!("{:.2}", c.batch_time_s * 1000.0),
+    );
     dump_json(&world.opts, "fig9", sweep.to_json());
 }
 
@@ -194,12 +206,16 @@ pub fn fig10(world: &World) {
         })
         .collect();
     let sweep = Sweep::run(world, "τ", sweep_specs(), values, false);
-    sweep.print("Figure 10(a) — total revenue vs base waiting time τ", "revenue", |c| {
-        format!("{:.0}", c.revenue)
-    });
-    sweep.print("Figure 10(b) — batch running time (ms) vs τ", "batch", |c| {
-        format!("{:.2}", c.batch_time_s * 1000.0)
-    });
+    sweep.print(
+        "Figure 10(a) — total revenue vs base waiting time τ",
+        "revenue",
+        |c| format!("{:.0}", c.revenue),
+    );
+    sweep.print(
+        "Figure 10(b) — batch running time (ms) vs τ",
+        "batch",
+        |c| format!("{:.2}", c.batch_time_s * 1000.0),
+    );
     dump_json(&world.opts, "fig10", sweep.to_json());
 }
 
@@ -220,7 +236,12 @@ pub fn fig13(world: &World) {
     // (a) drivers.
     let values: Vec<(String, RunCfg)> = [1_000usize, 2_000, 3_000, 4_000, 5_000]
         .into_iter()
-        .map(|p| (format!("{}K", p / 1000), RunCfg::defaults(world.opts.drivers(p), 0)))
+        .map(|p| {
+            (
+                format!("{}K", p / 1000),
+                RunCfg::defaults(world.opts.drivers(p), 0),
+            )
+        })
         .collect();
     let a = Sweep::run(world, "n", fig13_specs(), values, false);
     a.print("Figure 13(a) — served orders vs n", "served", |c| {

@@ -35,17 +35,36 @@ mod tables;
 
 use common::{Options, World};
 
-fn usage() -> ! {
+const COMMANDS: [&str; 16] = [
+    "table3", "table4", "table6", "table7", "table8", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig11", "fig12", "fig13", "ablation", "all",
+];
+
+fn print_usage() {
     eprintln!(
-        "usage: mrvd-experiments <table3|table4|table6|table7|table8|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ablation|all> \
-         [--scale F] [--instances N] [--seed S] [--threads T] [--nn-epochs E] [--out DIR]"
+        "usage: mrvd-experiments <{}> [--scale F] [--instances N] [--seed S] [--threads T] \
+         [--nn-epochs E] [--out DIR]",
+        COMMANDS.join("|")
     );
+}
+
+fn usage() -> ! {
+    print_usage();
     std::process::exit(2)
 }
 
 fn parse_args() -> (String, Options) {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else { usage() };
+    if cmd == "--help" || cmd == "-h" {
+        print_usage();
+        std::process::exit(0)
+    }
+    // Reject unknown commands before the expensive world build.
+    if !COMMANDS.contains(&cmd.as_str()) {
+        eprintln!("unknown command {cmd}");
+        usage()
+    }
     let mut opts = Options::default();
     while let Some(flag) = args.next() {
         let mut value = |name: &str| -> String {
@@ -57,14 +76,18 @@ fn parse_args() -> (String, Options) {
         match flag.as_str() {
             "--scale" => opts.scale = value("--scale").parse().expect("--scale takes a float"),
             "--instances" => {
-                opts.instances = value("--instances").parse().expect("--instances takes an int")
+                opts.instances = value("--instances")
+                    .parse()
+                    .expect("--instances takes an int")
             }
             "--seed" => opts.seed = value("--seed").parse().expect("--seed takes an int"),
             "--threads" => {
                 opts.threads = value("--threads").parse().expect("--threads takes an int")
             }
             "--nn-epochs" => {
-                opts.nn_epochs = value("--nn-epochs").parse().expect("--nn-epochs takes an int")
+                opts.nn_epochs = value("--nn-epochs")
+                    .parse()
+                    .expect("--nn-epochs takes an int")
             }
             "--out" => opts.out_dir = value("--out"),
             other => {
@@ -73,7 +96,10 @@ fn parse_args() -> (String, Options) {
             }
         }
     }
-    assert!(opts.scale > 0.0 && opts.scale <= 1.0, "--scale must be in (0, 1]");
+    assert!(
+        opts.scale > 0.0 && opts.scale <= 1.0,
+        "--scale must be in (0, 1]"
+    );
     assert!(opts.instances >= 1, "--instances must be ≥ 1");
     (cmd, opts)
 }

@@ -42,7 +42,11 @@ pub fn table3(world: &World) {
         let mut censored = 0usize;
         for i in 0..opts.instances {
             let cfg = RunCfg::defaults(n, i);
-            let res = crate::common::run_one(world, PolicySpec::Irg(OracleKind::Pred(ModelKind::DeepSt)), &cfg);
+            let res = crate::common::run_one(
+                world,
+                PolicySpec::Irg(OracleKind::Pred(ModelKind::DeepSt)),
+                &cfg,
+            );
             for (e, r) in res.idle_estimate_pairs() {
                 if r > IDLE_CENSOR_S {
                     censored += 1;
@@ -156,8 +160,8 @@ pub fn table4(world: &World) {
     print_table(
         "Table 4 — revenue ×10⁸ by prediction method (ours, scale-normalized | paper)",
         &[
-            "approach", "HA", "LR", "GBRT", "DeepST", "Real", "p:HA", "p:LR", "p:GBRT",
-            "p:DeepST", "p:Real",
+            "approach", "HA", "LR", "GBRT", "DeepST", "Real", "p:HA", "p:LR", "p:GBRT", "p:DeepST",
+            "p:Real",
         ],
         &rows,
     );
@@ -224,7 +228,14 @@ pub fn table6(world: &World) {
     }
     print_table(
         "Table 6 — demand prediction accuracy on held-out days (ours | paper)",
-        &["model", "RMSE (%)", "RealRMSE", "MAE", "p:RMSE%", "p:RealRMSE"],
+        &[
+            "model",
+            "RMSE (%)",
+            "RealRMSE",
+            "MAE",
+            "p:RMSE%",
+            "p:RealRMSE",
+        ],
         &rows,
     );
     dump_json(&world.opts, "table6", json!({ "rows": json_rows }));
@@ -277,7 +288,11 @@ fn minute_samples(
 /// rejoined-driver arrivals against the Poisson hypothesis, with the
 /// observed/expected histograms.
 pub fn table7_8(world: &World, destinations: bool, show_histograms: bool) {
-    let what = if destinations { "drivers (Table 8 / Fig. 12)" } else { "orders (Table 7 / Fig. 11)" };
+    let what = if destinations {
+        "drivers (Table 8 / Fig. 12)"
+    } else {
+        "orders (Table 7 / Fig. 11)"
+    };
     let cases = [
         ("region 1", REGION1, 7 * 60),
         ("region 1", REGION1, 8 * 60),
@@ -296,7 +311,11 @@ pub fn table7_8(world: &World, destinations: bool, show_histograms: bool) {
             format!("{:.4}", outcome.statistic),
             format!("{:.3}", outcome.critical),
             format!("{:.2}", outcome.lambda_hat),
-            if outcome.accepted { "yes".into() } else { "NO".into() },
+            if outcome.accepted {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
         json_rows.push(json!({
             "region": name, "start_min": start, "bins": outcome.bins,
@@ -304,7 +323,10 @@ pub fn table7_8(world: &World, destinations: bool, show_histograms: bool) {
             "accepted": outcome.accepted, "lambda_hat": outcome.lambda_hat,
         }));
         if show_histograms {
-            println!("\n-- {what}: {name}, {}:00 — observed vs expected --", start / 60);
+            println!(
+                "\n-- {what}: {name}, {}:00 — observed vs expected --",
+                start / 60
+            );
             for (i, ((o, e), range)) in outcome
                 .observed
                 .iter()
@@ -323,7 +345,15 @@ pub fn table7_8(world: &World, destinations: bool, show_histograms: bool) {
     }
     print_table(
         &format!("Poisson chi-square test of {what} (accept at α = 0.05)"),
-        &["region", "window", "r", "k", "chi2_r-1(0.05)", "λ̂/min", "accepted"],
+        &[
+            "region",
+            "window",
+            "r",
+            "k",
+            "chi2_r-1(0.05)",
+            "λ̂/min",
+            "accepted",
+        ],
         &rows,
     );
     dump_json(

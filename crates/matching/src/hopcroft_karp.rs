@@ -29,12 +29,7 @@ pub fn hopcroft_karp(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> Match
 
     // BFS layering from free left vertices; returns whether an augmenting
     // path exists.
-    fn bfs(
-        adj: &[Vec<usize>],
-        match_l: &[usize],
-        match_r: &[usize],
-        dist: &mut [usize],
-    ) -> bool {
+    fn bfs(adj: &[Vec<usize>], match_l: &[usize], match_r: &[usize], dist: &mut [usize]) -> bool {
         let mut queue = std::collections::VecDeque::new();
         for (l, &m) in match_l.iter().enumerate() {
             if m == NIL {

@@ -96,8 +96,7 @@ pub fn kuhn_munkres_dense(weights: &[Vec<f64>]) -> Matching {
     }
 
     let mut matching = Matching::empty(n_left, n_right);
-    for j in 1..=m {
-        let i = p[j];
+    for (j, &i) in p.iter().enumerate().take(m + 1).skip(1) {
         if i == 0 {
             continue;
         }
@@ -134,8 +133,14 @@ pub fn max_weight_matching(n_left: usize, n_right: usize, edges: &[Edge]) -> Mat
     }
     let mut weights = vec![vec![0.0f64; n_right]; n_left];
     for &(l, r, w) in edges {
-        assert!(l < n_left, "max_weight_matching: left vertex {l} out of range");
-        assert!(r < n_right, "max_weight_matching: right vertex {r} out of range");
+        assert!(
+            l < n_left,
+            "max_weight_matching: left vertex {l} out of range"
+        );
+        assert!(
+            r < n_right,
+            "max_weight_matching: right vertex {r} out of range"
+        );
         assert!(
             w.is_finite() && w >= 0.0,
             "max_weight_matching: weight must be finite and non-negative, got {w}"

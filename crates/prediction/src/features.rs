@@ -13,7 +13,11 @@ pub const LAG_WINDOW: usize = 15;
 /// The `LAG_WINDOW` counts preceding global slot `global_slot` for
 /// `region`, oldest first. Slots before the start of the series are
 /// zero-filled (only relevant in the first hours of day 0).
-pub fn lagged_features(series: &DemandSeries, global_slot: usize, region: usize) -> [f64; LAG_WINDOW] {
+pub fn lagged_features(
+    series: &DemandSeries,
+    global_slot: usize,
+    region: usize,
+) -> [f64; LAG_WINDOW] {
     let mut out = [0.0; LAG_WINDOW];
     for (i, o) in out.iter_mut().enumerate() {
         let lag = LAG_WINDOW - i; // oldest first

@@ -50,6 +50,7 @@ impl Predictor for LinearRegression {
         "LR"
     }
 
+    #[allow(clippy::needless_range_loop)] // dual-indexed triangular matrix fill
     fn fit(&mut self, series: &DemandSeries, train_days: usize) {
         assert!(
             train_days <= series.days(),
@@ -90,8 +91,8 @@ impl Predictor for LinearRegression {
             .map(|r| {
                 let x = lagged_features(series, gs, r);
                 let mut y = self.coef[LAG_WINDOW];
-                for i in 0..LAG_WINDOW {
-                    y += self.coef[i] * x[i];
+                for (c, xi) in self.coef.iter().zip(&x) {
+                    y += c * xi;
                 }
                 y.max(0.0)
             })
@@ -108,6 +109,7 @@ impl Predictor for LinearRegression {
 /// # Panics
 /// Panics on a (numerically) singular system — impossible after ridge
 /// regularization.
+#[allow(clippy::needless_range_loop)] // row/column elimination needs index pairs
 fn solve(mut a: [[f64; DIM]; DIM], mut b: [f64; DIM]) -> [f64; DIM] {
     for col in 0..DIM {
         // Pivot.
@@ -170,6 +172,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // index-pair matrix construction
     fn solver_inverts_known_system() {
         // Build A x = b with known x via a diagonally dominant A.
         let mut a = [[0.0; DIM]; DIM];
@@ -177,7 +180,11 @@ mod tests {
         for i in 0..DIM {
             x_true[i] = (i as f64) - 3.5;
             for j in 0..DIM {
-                a[i][j] = if i == j { 10.0 } else { 1.0 / (1.0 + (i + j) as f64) };
+                a[i][j] = if i == j {
+                    10.0
+                } else {
+                    1.0 / (1.0 + (i + j) as f64)
+                };
             }
         }
         let mut b = [0.0; DIM];

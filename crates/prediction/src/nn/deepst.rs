@@ -77,10 +77,22 @@ impl DeepStNet {
     /// # Panics
     /// Panics on zero dimensions.
     pub fn new(cols: usize, rows: usize, slots_per_day: usize, config: DeepStConfig) -> Self {
-        assert!(cols > 0 && rows > 0, "DeepStNet: grid dims must be positive");
-        assert!(slots_per_day > 0, "DeepStNet: slots_per_day must be positive");
-        assert!(config.hidden_channels > 0, "DeepStNet: need hidden channels");
-        assert!(config.batch_size > 0, "DeepStNet: batch_size must be positive");
+        assert!(
+            cols > 0 && rows > 0,
+            "DeepStNet: grid dims must be positive"
+        );
+        assert!(
+            slots_per_day > 0,
+            "DeepStNet: slots_per_day must be positive"
+        );
+        assert!(
+            config.hidden_channels > 0,
+            "DeepStNet: need hidden channels"
+        );
+        assert!(
+            config.batch_size > 0,
+            "DeepStNet: batch_size must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(config.seed);
         let h = config.hidden_channels;
         Self {
@@ -130,7 +142,12 @@ impl DeepStNet {
         }
         // Trend: same slot, previous weeks.
         for q in 0..3 {
-            write(6 + q, day as i64 - 7 * (q as i64 + 1), slot as i64, &mut input);
+            write(
+                6 + q,
+                day as i64 - 7 * (q as i64 + 1),
+                slot as i64,
+                &mut input,
+            );
         }
         input
     }
@@ -153,11 +170,7 @@ impl DeepStNet {
         let m2 = relu_inplace(&mut a2);
         let conv_out = self.conv3.forward(&a2, h, w);
         let meta_out = self.meta.forward(meta);
-        let y: Vec<f64> = conv_out
-            .iter()
-            .zip(&meta_out)
-            .map(|(c, m)| c + m)
-            .collect();
+        let y: Vec<f64> = conv_out.iter().zip(&meta_out).map(|(c, m)| c + m).collect();
         ForwardCache { a1, m1, a2, m2, y }
     }
 
@@ -296,11 +309,7 @@ impl Predictor for DeepStNet {
         let input = self.assemble_input(series, day, slot);
         let meta = self.assemble_meta(day, slot);
         let cache = self.forward(&input, &meta);
-        cache
-            .y
-            .iter()
-            .map(|&v| (v / self.scale).max(0.0))
-            .collect()
+        cache.y.iter().map(|&v| (v / self.scale).max(0.0)).collect()
     }
 
     fn clone_box(&self) -> Box<dyn Predictor + Send> {
@@ -396,7 +405,9 @@ mod tests {
         let input = net.assemble_input(&s, day, slot);
         let meta = net.assemble_meta(day, slot);
         let cells = net.cells();
-        let target: Vec<f64> = (0..cells).map(|r| s.get(day, slot, r) * net.scale).collect();
+        let target: Vec<f64> = (0..cells)
+            .map(|r| s.get(day, slot, r) * net.scale)
+            .collect();
         let loss_of = |net: &DeepStNet| -> f64 {
             let c = net.forward(&input, &meta);
             c.y.iter()

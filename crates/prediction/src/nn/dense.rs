@@ -61,8 +61,7 @@ impl Dense {
             "Dense::backward: grad mismatch"
         );
         let mut grad_in = vec![0.0; self.in_dim];
-        for o in 0..self.out_dim {
-            let g = grad_out[o];
+        for (o, &g) in grad_out.iter().enumerate() {
             self.bias.g[o] += g;
             let row_w = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
             let row_g = &mut self.weight.g[o * self.in_dim..(o + 1) * self.in_dim];
@@ -95,9 +94,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut d = Dense::new(5, 3, &mut rng);
         let x: Vec<f64> = (0..5).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let loss = |d: &Dense, x: &[f64]| -> f64 {
-            d.forward(x).iter().map(|v| 0.5 * v * v).sum()
-        };
+        let loss = |d: &Dense, x: &[f64]| -> f64 { d.forward(x).iter().map(|v| 0.5 * v * v).sum() };
         let y = d.forward(&x);
         d.weight.zero_grad();
         d.bias.zero_grad();

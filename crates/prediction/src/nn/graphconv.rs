@@ -81,7 +81,10 @@ impl GraphConvNet {
         config: GraphConvConfig,
     ) -> Self {
         assert!(n > 0, "GraphConvNet: need at least one region");
-        assert!(slots_per_day > 0, "GraphConvNet: slots_per_day must be positive");
+        assert!(
+            slots_per_day > 0,
+            "GraphConvNet: slots_per_day must be positive"
+        );
         // A + I.
         let mut a = vec![0.0f64; n * n];
         for i in 0..n {
@@ -299,7 +302,10 @@ impl Predictor for GraphConvNet {
             "GraphConvNet: train_days exceeds series length"
         );
         assert_eq!(series.regions(), self.n, "GraphConvNet: region mismatch");
-        assert!(train_days >= 2, "GraphConvNet: need at least 2 training days");
+        assert!(
+            train_days >= 2,
+            "GraphConvNet: need at least 2 training days"
+        );
         let mut max_v = 0.0f64;
         for d in 0..train_days {
             for s in 0..series.slots_per_day() {
@@ -345,11 +351,7 @@ impl Predictor for GraphConvNet {
         let x = self.assemble_features(series, day, slot);
         let meta = self.assemble_meta(day, slot);
         let cache = self.forward(&x, &meta);
-        cache
-            .y
-            .iter()
-            .map(|&v| (v / self.scale).max(0.0))
-            .collect()
+        cache.y.iter().map(|&v| (v / self.scale).max(0.0)).collect()
     }
 
     fn clone_box(&self) -> Box<dyn Predictor + Send> {

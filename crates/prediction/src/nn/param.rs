@@ -84,18 +84,16 @@ mod tests {
         let target = [1.0, -2.0, 3.0, 0.5];
         for t in 1..=2_000 {
             p.zero_grad();
-            for i in 0..4 {
-                p.g[i] = 2.0 * (p.w[i] - target[i]);
-            }
+            let grads: Vec<f64> =
+                p.w.iter()
+                    .zip(&target)
+                    .map(|(w, t)| 2.0 * (w - t))
+                    .collect();
+            p.g.copy_from_slice(&grads);
             p.adam_step(0.05, t);
         }
-        for i in 0..4 {
-            assert!(
-                (p.w[i] - target[i]).abs() < 1e-3,
-                "w[{i}] = {} vs {}",
-                p.w[i],
-                target[i]
-            );
+        for (i, (w, t)) in p.w.iter().zip(&target).enumerate() {
+            assert!((w - t).abs() < 1e-3, "w[{i}] = {} vs {}", w, t);
         }
     }
 

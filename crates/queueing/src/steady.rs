@@ -228,10 +228,7 @@ impl SteadyState {
     /// Total stored probability mass plus the analytically tracked tail;
     /// ≈ 1 up to floating-point error.
     pub fn total_mass(&self) -> f64 {
-        self.p0
-            + self.neg.iter().sum::<f64>()
-            + self.pos.iter().sum::<f64>()
-            + self.neg_tail_mass
+        self.p0 + self.neg.iter().sum::<f64>() + self.pos.iter().sum::<f64>() + self.neg_tail_mass
     }
 
     /// Number of stored negative states.

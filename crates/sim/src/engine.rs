@@ -62,7 +62,10 @@ impl<'a> Simulator<'a> {
     /// # Panics
     /// Panics on a zero batch interval or zero horizon.
     pub fn new(config: SimConfig, travel: &'a dyn TravelModel, grid: &'a Grid) -> Self {
-        assert!(config.batch_interval_ms > 0, "Simulator: Δ must be positive");
+        assert!(
+            config.batch_interval_ms > 0,
+            "Simulator: Δ must be positive"
+        );
         assert!(config.horizon_ms > 0, "Simulator: horizon must be positive");
         assert!(
             config.wait_noise_ms.0 <= config.wait_noise_ms.1,
@@ -98,7 +101,9 @@ impl<'a> Simulator<'a> {
             "Simulator: trips must be sorted by request time"
         );
         assert!(
-            trips.last().is_none_or(|t| t.request_ms < self.config.horizon_ms),
+            trips
+                .last()
+                .is_none_or(|t| t.request_ms < self.config.horizon_ms),
             "Simulator: trips beyond the horizon"
         );
         let teleport = policy.teleports_pickup();
@@ -219,12 +224,18 @@ impl<'a> Simulator<'a> {
             for a in &batch_assignments {
                 let ri = a.rider.0;
                 assert!(
-                    (ri as usize) < riders.len() && waiting.contains(&ri) && !rider_assigned[ri as usize],
+                    (ri as usize) < riders.len()
+                        && waiting.contains(&ri)
+                        && !rider_assigned[ri as usize],
                     "policy assigned unknown or unavailable rider {}",
                     a.rider
                 );
                 let di = a.driver.0 as usize;
-                assert!(di < drivers.len(), "policy assigned unknown driver {}", a.driver);
+                assert!(
+                    di < drivers.len(),
+                    "policy assigned unknown driver {}",
+                    a.driver
+                );
                 let DriverState::Available { pos, since_ms } = drivers[di] else {
                     panic!("policy assigned busy driver {}", a.driver);
                 };
@@ -361,8 +372,10 @@ mod tests {
     fn mk_trips(n: usize) -> Vec<TripRecord> {
         (0..n)
             .map(|i| {
-                let pickup =
-                    Point::new(-73.98 + (i % 7) as f64 * 0.002, 40.74 + (i % 5) as f64 * 0.002);
+                let pickup = Point::new(
+                    -73.98 + (i % 7) as f64 * 0.002,
+                    40.74 + (i % 5) as f64 * 0.002,
+                );
                 TripRecord {
                     id: i as u64,
                     request_ms: (i as u64) * 20_000,
@@ -525,10 +538,8 @@ mod tests {
                 for r in ctx.riders {
                     for d in ctx.drivers {
                         if ctx.is_valid_pair(r, d) {
-                            let pickup =
-                                ctx.now_ms + ctx.travel.travel_time_ms(d.pos, r.pickup);
-                            let dropoff =
-                                pickup + ctx.travel.travel_time_ms(r.pickup, r.dropoff);
+                            let pickup = ctx.now_ms + ctx.travel.travel_time_ms(d.pos, r.pickup);
+                            let dropoff = pickup + ctx.travel.travel_time_ms(r.pickup, r.dropoff);
                             self.expected.insert(d.id, (dropoff, (0, 0)));
                             return vec![Assignment {
                                 rider: r.id,

@@ -21,5 +21,7 @@ pub mod types;
 
 pub use engine::{SimConfig, Simulator};
 pub use metrics::{AssignmentRecord, SimResult};
-pub use policy::{Assignment, AvailableDriver, BatchContext, BusyDriver, DispatchPolicy, WaitingRider};
+pub use policy::{
+    Assignment, AvailableDriver, BatchContext, BusyDriver, DispatchPolicy, WaitingRider,
+};
 pub use types::{DriverId, Millis, RiderId};

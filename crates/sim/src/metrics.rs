@@ -99,11 +99,7 @@ impl SimResult {
                 if let Some(est) = cur.estimated_idle_s {
                     let real_ms = next.batch_ms - next.driver_idle_ms; // = availability start
                     debug_assert_eq!(real_ms, cur.dropoff_ms);
-                    pairs.push((
-                        cur.dropoff_region,
-                        est,
-                        next.driver_idle_ms as f64 / 1000.0,
-                    ));
+                    pairs.push((cur.dropoff_region, est, next.driver_idle_ms as f64 / 1000.0));
                 }
             }
         }
@@ -116,7 +112,13 @@ mod tests {
     use super::*;
     use mrvd_spatial::RegionId;
 
-    fn rec(driver: u32, batch_ms: Millis, idle_ms: Millis, dropoff_ms: Millis, est: Option<f64>) -> AssignmentRecord {
+    fn rec(
+        driver: u32,
+        batch_ms: Millis,
+        idle_ms: Millis,
+        dropoff_ms: Millis,
+        est: Option<f64>,
+    ) -> AssignmentRecord {
         AssignmentRecord {
             rider: RiderId(0),
             driver: DriverId(driver),

@@ -28,10 +28,7 @@ impl std::fmt::Display for RegionId {
 
 /// The paper's experimental extent of New York City:
 /// longitude −74.03°..−73.77°, latitude 40.58°..40.92°.
-pub const NYC_EXTENT: (Point, Point) = (
-    Point::new(-74.03, 40.58),
-    Point::new(-73.77, 40.92),
-);
+pub const NYC_EXTENT: (Point, Point) = (Point::new(-74.03, 40.58), Point::new(-73.77, 40.92));
 
 /// An even rectangular partition of a lon/lat bounding box into
 /// `cols × rows` regions.
@@ -49,9 +46,17 @@ impl Grid {
     /// # Panics
     /// Panics if the box is degenerate or a cell count is zero.
     pub fn new(min: Point, max: Point, cols: u32, rows: u32) -> Self {
-        assert!(max.lon > min.lon && max.lat > min.lat, "Grid: degenerate box");
+        assert!(
+            max.lon > min.lon && max.lat > min.lat,
+            "Grid: degenerate box"
+        );
         assert!(cols > 0 && rows > 0, "Grid: cols and rows must be positive");
-        Self { min, max, cols, rows }
+        Self {
+            min,
+            max,
+            cols,
+            rows,
+        }
     }
 
     /// The paper's default grid: 16×16 over the NYC extent.
@@ -185,8 +190,7 @@ impl Grid {
     /// grid center (used to convert a travel-time radius into a ring count).
     pub fn cell_size_m(&self) -> (f64, f64) {
         let cy = 0.5 * (self.min.lat + self.max.lat);
-        let w = Point::new(self.min.lon, cy)
-            .distance_m(&Point::new(self.max.lon, cy))
+        let w = Point::new(self.min.lon, cy).distance_m(&Point::new(self.max.lon, cy))
             / self.cols as f64;
         let h = Point::new(self.min.lon, self.min.lat)
             .distance_m(&Point::new(self.min.lon, self.max.lat))

@@ -174,10 +174,7 @@ mod tests {
         let mut ix = RegionIndex::new(g.clone());
         let mut pts = Vec::new();
         for i in 0..500u32 {
-            let p = Point::new(
-                rng.gen_range(-74.03..-73.77),
-                rng.gen_range(40.58..40.92),
-            );
+            let p = Point::new(rng.gen_range(-74.03..-73.77), rng.gen_range(40.58..40.92));
             ix.insert(i, p);
             pts.push(p);
         }

@@ -169,7 +169,10 @@ impl RoadNetwork {
         speed_mps: f64,
         jitter: f64,
     ) -> Self {
-        assert!(cols >= 2 && rows >= 2, "lattice needs at least 2x2 vertices");
+        assert!(
+            cols >= 2 && rows >= 2,
+            "lattice needs at least 2x2 vertices"
+        );
         assert!(speed_mps > 0.0, "speed must be positive");
         assert!(jitter >= 0.0, "jitter must be non-negative");
         let mut net = Self::new();
@@ -290,7 +293,10 @@ mod tests {
         let n = diamond();
         assert_eq!(n.nearest_vertex(Point::new(0.1, 0.0)), Some(0));
         assert_eq!(n.nearest_vertex(Point::new(2.9, 0.1)), Some(3));
-        assert_eq!(RoadNetwork::new().nearest_vertex(Point::new(0.0, 0.0)), None);
+        assert_eq!(
+            RoadNetwork::new().nearest_vertex(Point::new(0.0, 0.0)),
+            None
+        );
     }
 
     #[test]
@@ -328,10 +334,10 @@ mod tests {
                     }
                 }
             }
-            for src in 0..n_v {
+            for (src, fw_row) in fw.iter().enumerate() {
                 let d = net.dijkstra(src as VertexId);
                 for dst in 0..n_v {
-                    let (a, b) = (d[dst], fw[src][dst]);
+                    let (a, b) = (d[dst], fw_row[dst]);
                     assert!(
                         (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
                         "src {src} dst {dst}: dijkstra {a}, fw {b}"

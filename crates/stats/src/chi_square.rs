@@ -145,9 +145,11 @@ pub fn chi_square_gof_poisson(samples: &[u64], alpha: f64, min_expected: f64) ->
     if acc_e > 0.0 || acc_o > 0.0 {
         // Fold the remainder into the last complete bin (or keep it alone
         // if it is the only bin).
-        if let (Some(o), Some(e), Some(r)) =
-            (observed.last_mut(), expected.last_mut(), bin_ranges.last_mut())
-        {
+        if let (Some(o), Some(e), Some(r)) = (
+            observed.last_mut(),
+            expected.last_mut(),
+            bin_ranges.last_mut(),
+        ) {
             *o += acc_o;
             *e += acc_e;
             r.1 = max_k + 1;

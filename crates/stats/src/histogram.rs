@@ -75,7 +75,11 @@ impl Histogram {
         let mut out = String::new();
         for (i, &c) in self.counts.iter().enumerate() {
             let (lo, hi) = self.bin_range(i);
-            let bar = "#".repeat((c as usize * max_width).div_ceil(peak as usize).min(max_width));
+            let bar = "#".repeat(
+                (c as usize * max_width)
+                    .div_ceil(peak as usize)
+                    .min(max_width),
+            );
             out.push_str(&format!("{lo:>8.1}..{hi:<8.1} {c:>6} {bar}\n"));
         }
         out

@@ -165,8 +165,7 @@ mod tests {
                 .map(|_| sample_poisson(&mut rng, lambda) as f64)
                 .collect();
             let mean = samples.iter().sum::<f64>() / n as f64;
-            let var =
-                samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+            let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
             // Standard error of the mean is sqrt(λ/n); allow 5 sigma.
             let se = (lambda / n as f64).sqrt();
             assert!(
@@ -183,7 +182,9 @@ mod tests {
     #[test]
     fn pmf_sums_to_one() {
         for &lambda in &[0.1, 1.0, 5.0, 30.0] {
-            let sum: f64 = (0..(lambda as u64 * 4 + 60)).map(|k| poisson_pmf(lambda, k)).sum();
+            let sum: f64 = (0..(lambda as u64 * 4 + 60))
+                .map(|k| poisson_pmf(lambda, k))
+                .sum();
             assert!((sum - 1.0).abs() < 1e-9, "λ={lambda}: Σpmf = {sum}");
         }
     }
@@ -228,7 +229,9 @@ mod tests {
     fn arrival_count_matches_rate() {
         let mut rng = StdRng::seed_from_u64(11);
         let p = PoissonProcess::new(2.5);
-        let total: usize = (0..200).map(|_| p.arrivals(&mut rng, 0.0, 100.0).len()).sum();
+        let total: usize = (0..200)
+            .map(|_| p.arrivals(&mut rng, 0.0, 100.0).len())
+            .sum();
         let mean = total as f64 / 200.0;
         assert!((mean - 250.0).abs() < 10.0, "mean count {mean}");
     }

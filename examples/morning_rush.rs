@@ -32,7 +32,10 @@ fn main() {
             ..*t
         })
         .collect();
-    println!("morning rush: {} orders between 7:00 and 10:00", trips.len());
+    println!(
+        "morning rush: {} orders between 7:00 and 10:00",
+        trips.len()
+    );
 
     let mut rng = StdRng::seed_from_u64(2);
     let drivers = sample_driver_positions(&trips, 400, &mut rng);

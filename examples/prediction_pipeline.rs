@@ -17,7 +17,10 @@ fn main() {
         seed: 5,
         ..NycLikeConfig::default()
     });
-    println!("generating {} days of demand counts…", train_days + test_days);
+    println!(
+        "generating {} days of demand counts…",
+        train_days + test_days
+    );
     let series = gen.generate_counts(train_days + test_days);
     let grid = Grid::nyc_16x16();
     let peak = series.max_value();

@@ -34,7 +34,12 @@ fn main() {
         Box::new(QueueingPolicy::ls(DispatchConfig::default(), oracle())),
         Box::new(QueueingPolicy::irg(DispatchConfig::default(), oracle())),
         Box::new(QueueingPolicy::short(DispatchConfig::default(), oracle())),
-        Box::new(Polar::new(PolarConfig::default(), &oracle(), &grid, n_drivers)),
+        Box::new(Polar::new(
+            PolarConfig::default(),
+            &oracle(),
+            &grid,
+            n_drivers,
+        )),
         Box::new(Ltg::default()),
         Box::new(Near::default()),
         Box::new(Rand::new(5)),

@@ -43,10 +43,7 @@ fn main() {
     let series = count_trips(&trips, &grid);
     let sim = Simulator::new(SimConfig::default(), &travel, &grid);
 
-    let mut policy = QueueingPolicy::irg(
-        DispatchConfig::default(),
-        DemandOracle::real(series, 0),
-    );
+    let mut policy = QueueingPolicy::irg(DispatchConfig::default(), DemandOracle::real(series, 0));
     let t0 = std::time::Instant::now();
     let res = sim.run(&trips, &drivers, &mut policy);
     println!(

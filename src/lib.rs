@@ -57,8 +57,8 @@ pub use mrvd_stats as stats;
 /// One-stop imports for examples and quick starts.
 pub mod prelude {
     pub use mrvd_core::{
-        DemandOracle, DispatchConfig, Ltg, Near, Polar, PolarConfig, PriorityRule,
-        QueueingPolicy, Rand, SearchMode, Upper,
+        DemandOracle, DispatchConfig, Ltg, Near, Polar, PolarConfig, PriorityRule, QueueingPolicy,
+        Rand, SearchMode, Upper,
     };
     pub use mrvd_demand::{
         count_trips, sample_driver_positions, DemandSeries, NycLikeConfig, NycLikeGenerator,

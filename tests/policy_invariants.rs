@@ -107,14 +107,20 @@ fn queueing_policy_outputs_only_valid_unique_pairs() {
             for a in &out {
                 assert!(riders.insert(a.rider), "rider assigned twice");
                 assert!(drivers.insert(a.driver), "driver assigned twice");
-                let rider = ctx.riders.iter().find(|r| r.id == a.rider).expect("known rider");
+                let rider = ctx
+                    .riders
+                    .iter()
+                    .find(|r| r.id == a.rider)
+                    .expect("known rider");
                 let driver = ctx
                     .drivers
                     .iter()
                     .find(|d| d.id == a.driver)
                     .expect("known driver");
                 assert!(ctx.is_valid_pair(rider, driver), "invalid pair emitted");
-                let est = a.estimated_idle_s.expect("queueing policies attach estimates");
+                let est = a
+                    .estimated_idle_s
+                    .expect("queueing policies attach estimates");
                 assert!(est.is_finite() && est >= 0.0);
             }
             if !out.is_empty() {
@@ -167,11 +173,12 @@ fn oracle_window_covering_full_slot_returns_slot_counts() {
     let oracle = DemandOracle::real(series.clone(), 0);
     // Window exactly covering slot 17.
     let w = oracle.upcoming_riders(17 * SLOT_MS, SLOT_MS);
-    for r in 0..grid.num_regions() {
+    assert_eq!(w.len(), grid.num_regions());
+    for (r, &wr) in w.iter().enumerate() {
         assert!(
-            (w[r] - series.get(0, 17, r)).abs() < 1e-9,
+            (wr - series.get(0, 17, r)).abs() < 1e-9,
             "region {r}: window {} vs slot {}",
-            w[r],
+            wr,
             series.get(0, 17, r)
         );
     }
