@@ -1,8 +1,9 @@
 //! Offline stand-in for `serde_json`: the [`json!`] macro, a [`Value`]
-//! tree, and [`to_string_pretty`] — the subset `mrvd-experiments` uses to
-//! dump tables and figures. No registry access in the build environment,
-//! so this lives in-tree as a path dependency. Object keys keep insertion
-//! order; non-finite floats serialize as `null` like real `serde_json`.
+//! tree, [`to_string_pretty`] and a [`from_str`] parser — the subset the
+//! workspace uses to dump tables/figures and to load declarative scenario
+//! specs. No registry access in the build environment, so this lives
+//! in-tree as a path dependency. Object keys keep insertion order;
+//! non-finite floats serialize as `null` like real `serde_json`.
 
 use std::fmt::Write as _;
 
@@ -34,19 +35,311 @@ pub enum Number {
     Float(f64),
 }
 
-/// Serialization failure. The in-tree `Value` tree is always
-/// serializable, so this is never constructed; it exists so call sites
-/// can keep real `serde_json`'s `Result` signature and `.expect(..)`.
+/// Serialization or parse failure. The in-tree `Value` tree is always
+/// serializable, so serialization never constructs one; [`from_str`]
+/// returns it with a message describing the first syntax error.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("json serialization error")
+        f.write_str(&self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+impl Value {
+    /// Object field lookup; `None` on non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers widen); `None` otherwise.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::Int(v)) => Some(*v as f64),
+            Value::Number(Number::UInt(v)) => Some(*v as f64),
+            Value::Number(Number::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer; `None` otherwise. Floats are
+    /// never integers (matching real `serde_json`), so `42.0` is `None`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::Int(v)) => u64::try_from(*v).ok(),
+            Value::Number(Number::UInt(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice; `None` on non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool; `None` on non-bools.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice; `None` on non-arrays.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// Supports the full JSON grammar the serializer emits: objects, arrays,
+/// strings with `\"\\/bfnrt` and `\uXXXX` escapes, numbers (integers stay
+/// integers, anything with `.`/`e` becomes a float), booleans and `null`.
+/// Trailing non-whitespace input is an error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the JSON document"));
+    }
+    Ok(v)
+}
+
+/// Containers may nest at most this deep (real `serde_json`'s default is
+/// also 128); past it the parser errors instead of blowing the stack on
+/// hostile input like `"[".repeat(1 << 20)`.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("json parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), Error> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(_) => Err(self.err("expected a JSON value")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        Ok(())
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.enter()?;
+        let v = self.parse_object_body();
+        self.depth -= 1;
+        v
+    }
+
+    fn parse_object_body(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.enter()?;
+        let v = self.parse_array_body();
+        self.depth -= 1;
+        v
+    }
+
+    fn parse_array_body(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by our own
+                            // output (the serializer never emits them);
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.err("unknown escape sequence")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (the input is a &str, so
+                    // the bytes are valid UTF-8).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("unescaped control character in string"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if is_float {
+            let v: f64 = text.parse().map_err(|_| self.err("malformed number"))?;
+            Ok(Value::Number(Number::Float(v)))
+        } else if let Ok(v) = text.parse::<i64>() {
+            Ok(Value::Number(Number::Int(v)))
+        } else if let Ok(v) = text.parse::<u64>() {
+            Ok(Value::Number(Number::UInt(v)))
+        } else {
+            Err(self.err("malformed number"))
+        }
+    }
+}
 
 /// Conversion into a [`Value`] — the role `serde::Serialize` plays for
 /// real `serde_json`, flattened into one trait.
@@ -298,6 +591,83 @@ mod tests {
         let alpha = s.find("alpha").unwrap();
         assert!(zeta < alpha, "insertion order lost:\n{s}");
         assert!(s.contains("\"k\": [\n      1,\n      2\n    ]"), "{s}");
+    }
+
+    #[test]
+    fn parser_round_trips_serializer_output() {
+        let v = json!({
+            "name": "rain",
+            "factor": 0.5,
+            "windows": [json!({ "start": 0, "end": 3_600_000 })],
+            "enabled": true,
+            "note": json!(null),
+            "big": u64::MAX,
+            "neg": -42,
+            "text": "a\n\"b\"\tc\\d",
+        });
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_handles_scalars_and_whitespace() {
+        assert_eq!(from_str(" null ").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("-3").unwrap(), json!(-3));
+        assert_eq!(from_str("2.5e2").unwrap(), json!(250.0));
+        assert_eq!(from_str("\"\\u0041x\"").unwrap(), json!("Ax"));
+        assert_eq!(from_str("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(from_str("{}").unwrap(), Value::Object(vec![]));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1..2",
+            "\"unterminated",
+            "[] []",
+            "nul",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+        let deep = "[".repeat(200_000);
+        let err = from_str(&deep).unwrap_err();
+        assert!(err.to_string().contains("recursion limit"), "{err}");
+        // Exactly at the limit still parses.
+        let ok = format!("{}{}", "[".repeat(128), "]".repeat(128));
+        assert!(from_str(&ok).is_ok());
+        let over = format!("{}{}", "[".repeat(129), "]".repeat(129));
+        assert!(from_str(&over).is_err());
+    }
+
+    #[test]
+    fn as_u64_rejects_floats_like_real_serde_json() {
+        assert_eq!(from_str("42").unwrap().as_u64(), Some(42));
+        assert_eq!(from_str("42.0").unwrap().as_u64(), None);
+        assert_eq!(json!(2.0).as_u64(), None);
+    }
+
+    #[test]
+    fn accessors_read_fields() {
+        let v = from_str("{\"a\": 1, \"b\": [2.5, \"x\"], \"c\": false}").unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("a").and_then(Value::as_f64), Some(1.0));
+        let arr = v.get("b").and_then(Value::as_array).unwrap();
+        assert_eq!(arr[0].as_f64(), Some(2.5));
+        assert_eq!(arr[1].as_str(), Some("x"));
+        assert_eq!(v.get("c").and_then(Value::as_bool), Some(false));
+        assert!(v.get("missing").is_none());
+        assert!(v.get("a").unwrap().as_str().is_none());
+        assert_eq!(json!(2.5).as_u64(), None);
     }
 
     #[test]

@@ -36,6 +36,38 @@ impl Default for NycLikeConfig {
     }
 }
 
+/// Hook points for shaping the generator's Poisson rates per
+/// `(slot, region)` cell — the extension surface scenario specs build on
+/// (surge windows multiply rates, hotspot injections add extra origin
+/// mass) without touching the calibrated base profile.
+///
+/// Both hooks default to the identity, and the unshaped path
+/// ([`NycLikeGenerator::generate_day_trips`]) is byte-identical to
+/// shaping with [`NoShaping`]: a factor of exactly `1.0` leaves the rate
+/// bit-identical and a zero extra rate draws nothing from the RNG.
+pub trait DemandShaper {
+    /// Multiplies the base Poisson rate of `(slot, region)`. Must be
+    /// finite and non-negative.
+    fn rate_factor(&self, slot: usize, region: RegionId) -> f64 {
+        let _ = (slot, region);
+        1.0
+    }
+
+    /// Extra Poisson rate (expected additional orders) injected into
+    /// `(slot, region)` on top of the scaled base rate. Must be finite
+    /// and non-negative.
+    fn extra_rate(&self, slot: usize, region: RegionId) -> f64 {
+        let _ = (slot, region);
+        0.0
+    }
+}
+
+/// The identity shaper: no surge, no injections.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoShaping;
+
+impl DemandShaper for NoShaping {}
+
 /// Generates NYC-like trips and demand counts (substitution for the NYC
 /// TLC dataset; see DESIGN.md).
 ///
@@ -92,6 +124,21 @@ impl NycLikeGenerator {
 
     /// Generates the complete, time-sorted order list of one day.
     pub fn generate_day_trips(&self, day: usize) -> Vec<TripRecord> {
+        self.generate_day_trips_with(day, &NoShaping)
+    }
+
+    /// Generates one day with a [`DemandShaper`] perturbing the Poisson
+    /// rates: each `(slot, region)` cell draws
+    /// `Poisson(base · rate_factor) + Poisson(extra_rate)` orders.
+    ///
+    /// # Panics
+    /// Panics if the shaper returns a negative or non-finite factor or
+    /// extra rate.
+    pub fn generate_day_trips_with(
+        &self,
+        day: usize,
+        shaper: &dyn DemandShaper,
+    ) -> Vec<TripRecord> {
         let mut rng = self.day_rng(day, 1);
         let mut trips = Vec::new();
         let mut id = (day as u64) << 32;
@@ -99,8 +146,23 @@ impl NycLikeGenerator {
             let dest_w = self.profile.dest_weights(slot);
             let dest_cum = cumulative(&dest_w);
             for region in self.grid.regions() {
-                let rate = self.profile.expected_slot_count(day, slot, region);
-                let n = sample_poisson(&mut rng, rate);
+                let factor = shaper.rate_factor(slot, region);
+                assert!(
+                    factor.is_finite() && factor >= 0.0,
+                    "DemandShaper: rate factor must be finite and non-negative, got {factor}"
+                );
+                let extra = shaper.extra_rate(slot, region);
+                assert!(
+                    extra.is_finite() && extra >= 0.0,
+                    "DemandShaper: extra rate must be finite and non-negative, got {extra}"
+                );
+                let rate = self.profile.expected_slot_count(day, slot, region) * factor;
+                let mut n = sample_poisson(&mut rng, rate);
+                if extra > 0.0 {
+                    // Injected mass draws separately so the unshaped path
+                    // consumes an identical RNG stream.
+                    n += sample_poisson(&mut rng, extra);
+                }
                 for _ in 0..n {
                     let request_ms = slot as u64 * SLOT_MS + rng.gen_range(0..SLOT_MS);
                     let pickup = self.random_point_in(region, &mut rng);
@@ -362,6 +424,80 @@ mod tests {
             "{short} degenerate trips out of {}",
             trips.len()
         );
+    }
+
+    #[test]
+    fn no_shaping_is_byte_identical_to_unshaped_generation() {
+        let g = small_gen();
+        let a = g.generate_day_trips(1);
+        let b = g.generate_day_trips_with(1, &NoShaping);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rate_factor_scales_volume() {
+        struct Halve;
+        impl DemandShaper for Halve {
+            fn rate_factor(&self, _slot: usize, _region: RegionId) -> f64 {
+                0.5
+            }
+        }
+        let g = small_gen();
+        let base = g.generate_day_trips(0).len() as f64;
+        let halved = g.generate_day_trips_with(0, &Halve).len() as f64;
+        assert!(
+            (halved - 0.5 * base).abs() < 0.1 * base,
+            "halved {halved} vs base {base}"
+        );
+    }
+
+    #[test]
+    fn extra_rate_injects_mass_into_the_targeted_cell() {
+        struct Inject {
+            region: RegionId,
+        }
+        impl DemandShaper for Inject {
+            fn extra_rate(&self, slot: usize, region: RegionId) -> f64 {
+                if slot == 12 && region == self.region {
+                    400.0
+                } else {
+                    0.0
+                }
+            }
+        }
+        let g = small_gen();
+        // A quiet periphery cell at 6:00 (slot 12).
+        let region = g.grid().region_of(mrvd_spatial::Point::new(-73.79, 40.65));
+        let base = g.generate_day_trips(0);
+        let shaped = g.generate_day_trips_with(0, &Inject { region });
+        let in_cell = |trips: &[TripRecord]| {
+            trips
+                .iter()
+                .filter(|t| {
+                    t.request_ms / crate::SLOT_MS == 12 && g.grid().region_of(t.pickup) == region
+                })
+                .count() as f64
+        };
+        let injected = in_cell(&shaped) - in_cell(&base);
+        assert!(
+            (injected - 400.0).abs() < 80.0,
+            "injected {injected} orders, expected ~400"
+        );
+        assert!(shaped
+            .windows(2)
+            .all(|w| w[0].request_ms <= w[1].request_ms));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate factor must be finite")]
+    fn negative_rate_factor_panics() {
+        struct Bad;
+        impl DemandShaper for Bad {
+            fn rate_factor(&self, _slot: usize, _region: RegionId) -> f64 {
+                -1.0
+            }
+        }
+        small_gen().generate_day_trips_with(0, &Bad);
     }
 
     #[test]

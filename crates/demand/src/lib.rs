@@ -30,7 +30,9 @@ pub mod series;
 pub mod trip;
 
 pub use drivers::sample_driver_positions;
-pub use generator::{NycLikeConfig, NycLikeGenerator, UniformConfig, UniformGenerator};
+pub use generator::{
+    DemandShaper, NoShaping, NycLikeConfig, NycLikeGenerator, UniformConfig, UniformGenerator,
+};
 pub use profile::NycProfile;
 pub use series::{count_trips, DemandSeries};
 pub use trip::TripRecord;

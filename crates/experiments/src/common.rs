@@ -2,9 +2,6 @@
 //! models), policy specs, run execution, parallel sweeps and table
 //! rendering.
 
-use std::collections::VecDeque;
-use std::sync::Mutex;
-
 use mrvd_core::{
     DemandOracle, DispatchConfig, Ltg, Near, Polar, PolarConfig, QueueingPolicy, Rand, Upper,
 };
@@ -469,33 +466,9 @@ pub fn run_cell(world: &World, spec: PolicySpec, cfg: &RunCfg) -> CellResult {
     }
 }
 
-/// Runs a list of jobs on a small worker pool, preserving output order.
-pub fn parallel_map<J, R, F>(jobs: Vec<J>, threads: usize, f: F) -> Vec<R>
-where
-    J: Send + Sync,
-    R: Send,
-    F: Fn(&J) -> R + Sync,
-{
-    let n = jobs.len();
-    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..n).collect());
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let jobs_ref = &jobs;
-    let f_ref = &f;
-    std::thread::scope(|scope| {
-        for _ in 0..threads.max(1).min(n.max(1)) {
-            scope.spawn(|| loop {
-                let next = queue.lock().expect("queue lock").pop_front();
-                let Some(i) = next else { break };
-                let r = f_ref(&jobs_ref[i]);
-                *results[i].lock().expect("result lock") = Some(r);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("poisoned").expect("job skipped"))
-        .collect()
-}
+/// Runs a list of jobs on a small worker pool, preserving output order
+/// (shared with the scenario sweep runner).
+pub use mrvd_stats::parallel_map;
 
 /// Renders an aligned text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -549,19 +522,6 @@ pub fn dump_json(opts: &Options, name: &str, value: serde_json::Value) {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let jobs: Vec<u64> = (0..40).collect();
-        let out = parallel_map(jobs, 4, |&j| j * j);
-        assert_eq!(out, (0..40).map(|j| j * j).collect::<Vec<u64>>());
-    }
-
-    #[test]
-    fn parallel_map_handles_more_threads_than_jobs() {
-        let out = parallel_map(vec![1u64, 2], 16, |&j| j + 1);
-        assert_eq!(out, vec![2, 3]);
-    }
 
     #[test]
     fn options_scale_drivers() {

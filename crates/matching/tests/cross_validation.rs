@@ -1,0 +1,189 @@
+//! Cross-validation of the three matching algorithms against each other
+//! on random small bipartite instances: the exact Hungarian solver
+//! bounds the greedy 1/2-approximation from above, Hopcroft–Karp bounds
+//! every matcher's cardinality from above, and the dense/sparse
+//! Hungarian entry points agree. Runs on the in-tree proptest shim
+//! (fixed-seed sampling, deterministic).
+
+use mrvd_matching::{
+    greedy_max_weight, hopcroft_karp, kuhn_munkres_dense, max_weight_matching, Edge, Matching,
+};
+use proptest::prelude::*;
+
+/// Decodes a raw strategy draw into a well-formed instance: vertex
+/// counts in `1..=8` and edges folded onto them.
+fn instance(nl: u64, nr: u64, raw: &[(u64, u64, f64)]) -> (usize, usize, Vec<Edge>) {
+    let n_left = (nl % 8 + 1) as usize;
+    let n_right = (nr % 8 + 1) as usize;
+    let edges: Vec<Edge> = raw
+        .iter()
+        .map(|&(l, r, w)| ((l as usize) % n_left, (r as usize) % n_right, w))
+        .collect();
+    (n_left, n_right, edges)
+}
+
+/// Adjacency list of the edge support (for Hopcroft–Karp).
+fn adjacency(n_left: usize, edges: &[Edge]) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); n_left];
+    for &(l, r, _) in edges {
+        if !adj[l].contains(&r) {
+            adj[l].push(r);
+        }
+    }
+    adj
+}
+
+fn assert_consistent(m: &Matching, what: &str) {
+    assert!(m.is_consistent(), "{what}: inconsistent matching");
+}
+
+proptest! {
+    #[test]
+    fn hungarian_weight_dominates_greedy(
+        nl in 0u64..64,
+        nr in 0u64..64,
+        raw in proptest::collection::vec((0u64..64, 0u64..64, 0.0f64..100.0), 0..40),
+    ) {
+        let (n_left, n_right, edges) = instance(nl, nr, &raw);
+        let exact = max_weight_matching(n_left, n_right, &edges);
+        let greedy = greedy_max_weight(n_left, n_right, &edges);
+        assert_consistent(&exact, "hungarian");
+        assert_consistent(&greedy, "greedy");
+        prop_assert!(
+            exact.total_weight >= greedy.total_weight - 1e-9,
+            "exact {} < greedy {}", exact.total_weight, greedy.total_weight
+        );
+    }
+
+    #[test]
+    fn greedy_achieves_half_of_the_optimum(
+        nl in 0u64..64,
+        nr in 0u64..64,
+        raw in proptest::collection::vec((0u64..64, 0u64..64, 0.0f64..100.0), 0..40),
+    ) {
+        // The classical 1/2-approximation guarantee of weight-ordered
+        // greedy — violated only if one of the two algorithms is broken.
+        let (n_left, n_right, edges) = instance(nl, nr, &raw);
+        let exact = max_weight_matching(n_left, n_right, &edges);
+        let greedy = greedy_max_weight(n_left, n_right, &edges);
+        prop_assert!(
+            greedy.total_weight >= 0.5 * exact.total_weight - 1e-9,
+            "greedy {} < half of exact {}", greedy.total_weight, exact.total_weight
+        );
+    }
+
+    #[test]
+    fn hopcroft_karp_cardinality_dominates_greedy_and_hungarian(
+        nl in 0u64..64,
+        nr in 0u64..64,
+        raw in proptest::collection::vec((0u64..64, 0u64..64, 0.5f64..100.0), 0..40),
+    ) {
+        // Weights start at 0.5 so no edge is dropped by the "zero weight
+        // means unmatched" convention of the weighted matchers.
+        let (n_left, n_right, edges) = instance(nl, nr, &raw);
+        let hk = hopcroft_karp(n_left, n_right, &adjacency(n_left, &edges));
+        let greedy = greedy_max_weight(n_left, n_right, &edges);
+        let exact = max_weight_matching(n_left, n_right, &edges);
+        assert_consistent(&hk, "hopcroft-karp");
+        prop_assert!(
+            hk.cardinality() >= greedy.cardinality(),
+            "HK {} < greedy {}", hk.cardinality(), greedy.cardinality()
+        );
+        prop_assert!(
+            hk.cardinality() >= exact.cardinality(),
+            "HK {} < hungarian {}", hk.cardinality(), exact.cardinality()
+        );
+    }
+
+    #[test]
+    fn unit_weights_make_hungarian_a_maximum_cardinality_matcher(
+        nl in 0u64..64,
+        nr in 0u64..64,
+        raw in proptest::collection::vec((0u64..64, 0u64..64, 0.0f64..1.0), 0..40),
+    ) {
+        // With every weight 1, maximum weight == maximum cardinality, so
+        // Hungarian and Hopcroft–Karp must agree exactly.
+        let (n_left, n_right, support) = instance(nl, nr, &raw);
+        let unit: Vec<Edge> = support.iter().map(|&(l, r, _)| (l, r, 1.0)).collect();
+        let exact = max_weight_matching(n_left, n_right, &unit);
+        let hk = hopcroft_karp(n_left, n_right, &adjacency(n_left, &unit));
+        prop_assert_eq!(exact.cardinality(), hk.cardinality());
+        prop_assert!((exact.total_weight - hk.cardinality() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_and_sparse_hungarian_agree(
+        nl in 0u64..64,
+        nr in 0u64..64,
+        raw in proptest::collection::vec((0u64..64, 0u64..64, 0.0f64..100.0), 0..40),
+    ) {
+        let (n_left, n_right, edges) = instance(nl, nr, &raw);
+        let sparse = max_weight_matching(n_left, n_right, &edges);
+        let mut matrix = vec![vec![0.0f64; n_right]; n_left];
+        for &(l, r, w) in &edges {
+            if w > matrix[l][r] {
+                matrix[l][r] = w; // parallel edges keep their max, like the sparse path
+            }
+        }
+        let dense = kuhn_munkres_dense(&matrix);
+        prop_assert!(
+            (sparse.total_weight - dense.total_weight).abs() < 1e-9,
+            "sparse {} vs dense {}", sparse.total_weight, dense.total_weight
+        );
+        prop_assert_eq!(sparse.cardinality(), dense.cardinality());
+    }
+
+    #[test]
+    fn hungarian_total_cost_at_most_greedy_total_cost_at_equal_cardinality(
+        dims in (0u64..64, 0u64..64),
+        raw in proptest::collection::vec(1.0f64..100.0, 36..37),
+    ) {
+        // The cost-minimization framing: on a complete cost matrix both
+        // matchers reach full cardinality min(n, m); converting costs c
+        // to weights (C_max − c) turns min-cost into max-weight, so the
+        // exact solver's recovered cost must not exceed greedy's.
+        let n = (dims.0 % 6 + 1) as usize;
+        let m = (dims.1 % 6 + 1) as usize;
+        let cost = |l: usize, r: usize| raw[l * m + r];
+        const CMAX: f64 = 101.0;
+        let edges: Vec<Edge> = (0..n)
+            .flat_map(|l| (0..m).map(move |r| (l, r, CMAX - cost(l, r))))
+            .collect();
+        let exact = max_weight_matching(n, m, &edges);
+        let greedy = greedy_max_weight(n, m, &edges);
+        let k = n.min(m);
+        prop_assert_eq!(exact.cardinality(), k);
+        prop_assert_eq!(greedy.cardinality(), k);
+        let recovered_cost = |mm: &Matching| -> f64 {
+            mm.pairs().map(|(l, r)| cost(l, r)).sum()
+        };
+        prop_assert!(
+            recovered_cost(&exact) <= recovered_cost(&greedy) + 1e-9,
+            "hungarian cost {} > greedy cost {}",
+            recovered_cost(&exact), recovered_cost(&greedy)
+        );
+    }
+}
+
+#[test]
+fn known_instance_where_greedy_is_suboptimal_on_both_axes() {
+    // Greedy grabs (0,0,10), blocking the 9+9 pairing.
+    let edges = vec![(0, 0, 10.0), (0, 1, 9.0), (1, 0, 9.0), (1, 1, 1.0)];
+    let greedy = greedy_max_weight(2, 2, &edges);
+    let exact = max_weight_matching(2, 2, &edges);
+    assert_eq!(greedy.total_weight, 11.0);
+    assert_eq!(exact.total_weight, 18.0);
+    assert!(exact.total_weight >= greedy.total_weight);
+    assert!(greedy.total_weight >= 0.5 * exact.total_weight);
+}
+
+#[test]
+fn empty_and_degenerate_instances_agree_everywhere() {
+    let exact = max_weight_matching(3, 4, &[]);
+    let greedy = greedy_max_weight(3, 4, &[]);
+    let hk = hopcroft_karp(3, 4, &vec![Vec::new(); 3]);
+    assert_eq!(exact.cardinality(), 0);
+    assert_eq!(greedy.cardinality(), 0);
+    assert_eq!(hk.cardinality(), 0);
+    assert_eq!(exact.total_weight, 0.0);
+}

@@ -1,0 +1,88 @@
+//! Travel-speed perturbation: a [`TravelModel`] decorator.
+
+use mrvd_spatial::{Millis, Point, TravelModel};
+
+/// Wraps any travel model and scales its effective speed by a constant
+/// factor — rain, snow or congestion slowing the whole network down
+/// (`factor < 1`), or free-flowing night traffic speeding it up
+/// (`factor > 1`). Travel times scale by `1 / factor`.
+#[derive(Debug, Clone, Copy)]
+pub struct SlowdownModel<M> {
+    inner: M,
+    speed_factor: f64,
+}
+
+impl<M: TravelModel> SlowdownModel<M> {
+    /// Decorates `inner` with a speed multiplier.
+    ///
+    /// # Panics
+    /// Panics unless `speed_factor` is positive and finite.
+    pub fn new(inner: M, speed_factor: f64) -> Self {
+        assert!(
+            speed_factor > 0.0 && speed_factor.is_finite(),
+            "SlowdownModel: speed factor must be positive, got {speed_factor}"
+        );
+        Self {
+            inner,
+            speed_factor,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The speed multiplier.
+    pub fn speed_factor(&self) -> f64 {
+        self.speed_factor
+    }
+}
+
+impl<M: TravelModel> TravelModel for SlowdownModel<M> {
+    fn travel_time_ms(&self, from: Point, to: Point) -> Millis {
+        (self.inner.travel_time_ms(from, to) as f64 / self.speed_factor).round() as Millis
+    }
+
+    fn speed_bound_mps(&self) -> Option<f64> {
+        self.inner.speed_bound_mps().map(|s| s * self.speed_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrvd_spatial::ConstantSpeedModel;
+
+    #[test]
+    fn halved_speed_doubles_travel_time() {
+        let base = ConstantSpeedModel::new(10.0);
+        let rain = SlowdownModel::new(base, 0.5);
+        let a = Point::new(-74.0, 40.7);
+        let b = Point::new(-73.9, 40.75);
+        let t0 = base.travel_time_ms(a, b) as f64;
+        let t1 = rain.travel_time_ms(a, b) as f64;
+        assert!((t1 / t0 - 2.0).abs() < 0.01, "t1 {t1} vs t0 {t0}");
+    }
+
+    #[test]
+    fn unit_factor_is_identity() {
+        let base = ConstantSpeedModel::new(8.0);
+        let same = SlowdownModel::new(base, 1.0);
+        let a = Point::new(-74.0, 40.7);
+        let b = Point::new(-73.93, 40.82);
+        assert_eq!(base.travel_time_ms(a, b), same.travel_time_ms(a, b));
+    }
+
+    #[test]
+    fn speed_bound_scales_with_the_factor() {
+        let m = SlowdownModel::new(ConstantSpeedModel::new(10.0), 0.5);
+        assert_eq!(m.speed_bound_mps(), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "speed factor must be positive")]
+    fn zero_factor_panics() {
+        SlowdownModel::new(ConstantSpeedModel::new(10.0), 0.0);
+    }
+}

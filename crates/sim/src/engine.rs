@@ -10,6 +10,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::metrics::{AssignmentRecord, SimResult};
 use crate::policy::{AvailableDriver, BatchContext, BusyDriver, DispatchPolicy, WaitingRider};
+use crate::schedule::DriverSchedule;
 use crate::types::{DriverId, Millis, RiderId};
 
 /// Simulation parameters (defaults follow the paper's Table 2 defaults:
@@ -44,8 +45,19 @@ impl Default for SimConfig {
 /// Internal driver state.
 #[derive(Debug, Clone, Copy)]
 enum DriverState {
-    Available { pos: Point, since_ms: Millis },
-    Busy { until_ms: Millis, dropoff: Point },
+    Available {
+        pos: Point,
+        since_ms: Millis,
+    },
+    Busy {
+        until_ms: Millis,
+        dropoff: Point,
+    },
+    /// Off shift (never shown to policies); remembers where the driver
+    /// parked so a later shift change can bring them back there.
+    Offline {
+        pos: Point,
+    },
 }
 
 /// The simulator: binds a travel model, a grid and a config; `run`
@@ -96,6 +108,38 @@ impl<'a> Simulator<'a> {
         driver_positions: &[Point],
         policy: &mut dyn DispatchPolicy,
     ) -> SimResult {
+        self.run_scheduled(
+            trips,
+            driver_positions,
+            &DriverSchedule::constant(driver_positions.len()),
+            policy,
+        )
+    }
+
+    /// Runs one day with a time-varying fleet: `driver_pool` holds the
+    /// spawn positions of every driver that may ever be on shift, and
+    /// `schedule` gives the target fleet size over time. Excess drivers
+    /// retire at shift changes — idle drivers immediately, busy drivers
+    /// at their next dropoff (a retiring driver disappears from the
+    /// policy's busy view since it will not rejoin). A constant schedule
+    /// over the full pool reproduces [`Simulator::run`] exactly.
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`Simulator::run`], or if the
+    /// schedule ever targets more drivers than the pool holds.
+    pub fn run_scheduled(
+        &self,
+        trips: &[TripRecord],
+        driver_pool: &[Point],
+        schedule: &DriverSchedule,
+        policy: &mut dyn DispatchPolicy,
+    ) -> SimResult {
+        assert!(
+            schedule.max_drivers() <= driver_pool.len(),
+            "Simulator: schedule targets {} drivers but the pool holds {}",
+            schedule.max_drivers(),
+            driver_pool.len()
+        );
         assert!(
             trips.windows(2).all(|w| w[0].request_ms <= w[1].request_ms),
             "Simulator: trips must be sorted by request time"
@@ -125,10 +169,26 @@ impl<'a> Simulator<'a> {
             })
             .collect();
 
-        let mut drivers: Vec<DriverState> = driver_positions
+        // Drivers up to the initial target start on shift; the rest of
+        // the pool waits offline at its spawn position.
+        let initial = schedule.target_at(0);
+        let mut drivers: Vec<DriverState> = driver_pool
             .iter()
-            .map(|&pos| DriverState::Available { pos, since_ms: 0 })
+            .enumerate()
+            .map(|(i, &pos)| {
+                if i < initial {
+                    DriverState::Available { pos, since_ms: 0 }
+                } else {
+                    DriverState::Offline { pos }
+                }
+            })
             .collect();
+        // Busy drivers marked here retire (go offline) at their dropoff.
+        let mut retiring = vec![false; drivers.len()];
+        // A constant schedule (the paper's fixed-fleet setting and every
+        // `run()` call) never moves drivers on or off shift, so the
+        // per-batch online-count scan below can be skipped entirely.
+        let track_schedule = !schedule.is_constant();
         let mut dropoff_heap: BinaryHeap<Reverse<(Millis, u32)>> = BinaryHeap::new();
 
         let mut waiting: Vec<u32> = Vec::new(); // rider indices
@@ -154,10 +214,67 @@ impl<'a> Simulator<'a> {
                     unreachable!("heap entry for a non-busy driver");
                 };
                 debug_assert_eq!(until_ms, t);
-                drivers[d as usize] = DriverState::Available {
-                    pos: dropoff,
-                    since_ms: t,
+                drivers[d as usize] = if retiring[d as usize] {
+                    retiring[d as usize] = false;
+                    DriverState::Offline { pos: dropoff }
+                } else {
+                    DriverState::Available {
+                        pos: dropoff,
+                        since_ms: t,
+                    }
                 };
+            }
+            // 1b. Track the schedule target: activate pooled drivers on a
+            // ramp-up (cancelling pending retirements first), retire on a
+            // ramp-down (idle drivers immediately, busy ones at dropoff).
+            if track_schedule {
+                let target = schedule.target_at(now);
+                let online = drivers
+                    .iter()
+                    .zip(&retiring)
+                    .filter(|(d, &r)| !matches!(d, DriverState::Offline { .. }) && !r)
+                    .count();
+                if online < target {
+                    let mut need = target - online;
+                    for r in retiring.iter_mut() {
+                        if need == 0 {
+                            break;
+                        }
+                        if *r {
+                            *r = false;
+                            need -= 1;
+                        }
+                    }
+                    for d in drivers.iter_mut() {
+                        if need == 0 {
+                            break;
+                        }
+                        if let DriverState::Offline { pos } = *d {
+                            *d = DriverState::Available { pos, since_ms: now };
+                            need -= 1;
+                        }
+                    }
+                } else if online > target {
+                    let mut excess = online - target;
+                    for d in drivers.iter_mut().rev() {
+                        if excess == 0 {
+                            break;
+                        }
+                        if let DriverState::Available { pos, .. } = *d {
+                            *d = DriverState::Offline { pos };
+                            excess -= 1;
+                        }
+                    }
+                    for (d, r) in drivers.iter().zip(retiring.iter_mut()).rev() {
+                        if excess == 0 {
+                            break;
+                        }
+                        if matches!(d, DriverState::Busy { .. }) && !*r {
+                            *r = true;
+                            excess -= 1;
+                        }
+                    }
+                }
             }
             // 2. Admit new riders.
             while next_trip < riders.len() && riders[next_trip].trip.request_ms <= now {
@@ -197,11 +314,16 @@ impl<'a> Simulator<'a> {
                         pos,
                         available_since_ms: since_ms,
                     }),
-                    DriverState::Busy { until_ms, dropoff } => busy_view.push(BusyDriver {
-                        id: DriverId(i as u32),
-                        dropoff_ms: until_ms,
-                        dropoff_pos: dropoff,
-                    }),
+                    // Retiring drivers will not rejoin, so they are not
+                    // upcoming supply and stay out of the busy view.
+                    DriverState::Busy { until_ms, dropoff } if !retiring[i] => {
+                        busy_view.push(BusyDriver {
+                            id: DriverId(i as u32),
+                            dropoff_ms: until_ms,
+                            dropoff_pos: dropoff,
+                        })
+                    }
+                    DriverState::Busy { .. } | DriverState::Offline { .. } => {}
                 }
             }
             let ctx = BatchContext {
@@ -237,7 +359,12 @@ impl<'a> Simulator<'a> {
                     a.driver
                 );
                 let DriverState::Available { pos, since_ms } = drivers[di] else {
-                    panic!("policy assigned busy driver {}", a.driver);
+                    match drivers[di] {
+                        DriverState::Busy { .. } => {
+                            panic!("policy assigned busy driver {}", a.driver)
+                        }
+                        _ => panic!("policy assigned offline driver {}", a.driver),
+                    }
                 };
                 assert!(
                     driver_taken.insert(a.driver.0),
@@ -624,6 +751,230 @@ mod tests {
         assert_eq!(res.total_riders, 1);
         assert_eq!(res.served + res.reneged + res.still_waiting, 1);
         assert_eq!(res.reneged, 1);
+    }
+
+    #[test]
+    fn constant_schedule_reproduces_run_exactly() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let config = SimConfig {
+            horizon_ms: 3_600_000,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::new(config, &travel, &grid);
+        let trips = mk_trips(120);
+        let drivers: Vec<Point> = (0..8)
+            .map(|i| Point::new(-73.97 - (i % 4) as f64 * 0.003, 40.75))
+            .collect();
+        let plain = sim.run(&trips, &drivers, &mut FirstFit);
+        let scheduled = sim.run_scheduled(
+            &trips,
+            &drivers,
+            &DriverSchedule::constant(drivers.len()),
+            &mut FirstFit,
+        );
+        assert_eq!(plain.served, scheduled.served);
+        assert_eq!(plain.reneged, scheduled.reneged);
+        assert_eq!(
+            plain.total_revenue.to_bits(),
+            scheduled.total_revenue.to_bits()
+        );
+        assert_eq!(plain.assignments.len(), scheduled.assignments.len());
+        for (a, b) in plain.assignments.iter().zip(&scheduled.assignments) {
+            assert_eq!(
+                (a.rider, a.driver, a.pickup_ms),
+                (b.rider, b.driver, b.pickup_ms)
+            );
+        }
+    }
+
+    #[test]
+    fn ramp_up_brings_pool_drivers_online() {
+        // Target 0 drivers for the first 30 min, then 6: nothing can be
+        // served before the shift starts, plenty after.
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let sim = Simulator::new(
+            SimConfig {
+                horizon_ms: 3_600_000,
+                ..SimConfig::default()
+            },
+            &travel,
+            &grid,
+        );
+        let trips = mk_trips(100);
+        let pool: Vec<Point> = (0..6).map(|_| Point::new(-73.974, 40.744)).collect();
+        let schedule = DriverSchedule::new(vec![(0, 0), (1_800_000, 6)]);
+        let res = sim.run_scheduled(&trips, &pool, &schedule, &mut FirstFit);
+        assert!(res.served > 0, "drivers never came online");
+        assert!(
+            res.assignments.iter().all(|a| a.batch_ms >= 1_800_000),
+            "assignment before the shift started"
+        );
+        // The first 30 minutes of riders (deadline ~190 s) all reneged.
+        assert!(res.reneged > 0);
+    }
+
+    #[test]
+    fn ramp_down_shrinks_the_active_fleet() {
+        // A policy that records the largest driver view it ever saw after
+        // the ramp-down point.
+        struct CountAfter {
+            cut_ms: Millis,
+            max_seen: usize,
+        }
+        impl DispatchPolicy for CountAfter {
+            fn name(&self) -> String {
+                "count-after".into()
+            }
+            fn assign(&mut self, ctx: &BatchContext<'_>) -> Vec<Assignment> {
+                if ctx.now_ms >= self.cut_ms {
+                    self.max_seen = self.max_seen.max(ctx.drivers.len() + ctx.busy.len());
+                }
+                Vec::new()
+            }
+        }
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let sim = Simulator::new(
+            SimConfig {
+                horizon_ms: 3_600_000,
+                ..SimConfig::default()
+            },
+            &travel,
+            &grid,
+        );
+        let trips = mk_trips(50);
+        let pool: Vec<Point> = (0..10).map(|_| Point::new(-73.974, 40.744)).collect();
+        let schedule = DriverSchedule::new(vec![(0, 10), (1_800_000, 3)]);
+        let mut counter = CountAfter {
+            cut_ms: 1_800_000,
+            max_seen: 0,
+        };
+        let res = sim.run_scheduled(&trips, &pool, &schedule, &mut counter);
+        assert_eq!(res.served, 0);
+        assert_eq!(counter.max_seen, 3, "fleet did not shrink to the target");
+    }
+
+    #[test]
+    fn busy_driver_retires_at_dropoff_and_leaves_the_busy_view() {
+        // One driver, one long ride; the schedule drops to zero while the
+        // ride is in flight. The busy view must empty immediately and the
+        // driver must never reappear.
+        struct Audit {
+            saw_busy_after_cut: bool,
+            saw_avail_after_cut: bool,
+            cut_ms: Millis,
+            assigned: bool,
+        }
+        impl DispatchPolicy for Audit {
+            fn name(&self) -> String {
+                "audit".into()
+            }
+            fn assign(&mut self, ctx: &BatchContext<'_>) -> Vec<Assignment> {
+                if ctx.now_ms >= self.cut_ms {
+                    self.saw_busy_after_cut |= !ctx.busy.is_empty();
+                    self.saw_avail_after_cut |= !ctx.drivers.is_empty();
+                    return Vec::new();
+                }
+                if !self.assigned {
+                    for r in ctx.riders {
+                        for d in ctx.drivers {
+                            if ctx.is_valid_pair(r, d) {
+                                self.assigned = true;
+                                return vec![Assignment {
+                                    rider: r.id,
+                                    driver: d.id,
+                                    estimated_idle_s: None,
+                                }];
+                            }
+                        }
+                    }
+                }
+                Vec::new()
+            }
+        }
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let sim = Simulator::new(
+            SimConfig {
+                horizon_ms: 3_600_000,
+                ..SimConfig::default()
+            },
+            &travel,
+            &grid,
+        );
+        // A single ~25-minute ride posted at t=0.
+        let trips = vec![TripRecord {
+            id: 0,
+            request_ms: 0,
+            pickup: Point::new(-73.974, 40.744),
+            dropoff: Point::new(-73.90, 40.80),
+        }];
+        let pool = vec![Point::new(-73.974, 40.744)];
+        let schedule = DriverSchedule::new(vec![(0, 1), (60_000, 0)]);
+        let mut audit = Audit {
+            saw_busy_after_cut: false,
+            saw_avail_after_cut: false,
+            cut_ms: 60_000,
+            assigned: false,
+        };
+        let res = sim.run_scheduled(&trips, &pool, &schedule, &mut audit);
+        assert_eq!(res.served, 1, "the in-flight ride still completes");
+        assert!(
+            !audit.saw_busy_after_cut,
+            "retiring driver stayed in the busy view"
+        );
+        assert!(
+            !audit.saw_avail_after_cut,
+            "retired driver rejoined the fleet"
+        );
+    }
+
+    #[test]
+    fn shortage_schedule_increases_reneging() {
+        let full = {
+            let grid = Grid::nyc_16x16();
+            let travel = ConstantSpeedModel::new(8.0);
+            let sim = Simulator::new(
+                SimConfig {
+                    horizon_ms: 3_600_000,
+                    ..SimConfig::default()
+                },
+                &travel,
+                &grid,
+            );
+            let trips = mk_trips(150);
+            let pool: Vec<Point> = (0..8).map(|_| Point::new(-73.974, 40.744)).collect();
+            let run_with = |schedule: &DriverSchedule| {
+                sim.run_scheduled(&trips, &pool, schedule, &mut FirstFit)
+                    .reneged
+            };
+            (
+                run_with(&DriverSchedule::constant(8)),
+                run_with(&DriverSchedule::new(vec![(0, 8), (900_000, 2)])),
+            )
+        };
+        assert!(
+            full.1 > full.0,
+            "shortage reneged {} <= full-fleet reneged {}",
+            full.1,
+            full.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule targets")]
+    fn schedule_larger_than_pool_panics() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let sim = Simulator::new(SimConfig::default(), &travel, &grid);
+        sim.run_scheduled(
+            &[],
+            &[Point::new(-73.97, 40.75)],
+            &DriverSchedule::constant(2),
+            &mut Idle,
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@
 pub mod engine;
 pub mod metrics;
 pub mod policy;
+pub mod schedule;
 pub mod types;
 
 pub use engine::{SimConfig, Simulator};
@@ -24,4 +25,5 @@ pub use metrics::{AssignmentRecord, SimResult};
 pub use policy::{
     Assignment, AvailableDriver, BatchContext, BusyDriver, DispatchPolicy, WaitingRider,
 };
+pub use schedule::DriverSchedule;
 pub use types::{DriverId, Millis, RiderId};

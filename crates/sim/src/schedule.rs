@@ -1,0 +1,107 @@
+//! Piecewise-constant driver supply schedules.
+//!
+//! The paper evaluates fixed fleets, but real platforms see supply move:
+//! shift changes around 16:00, overnight thinning, weekend patterns.
+//! A [`DriverSchedule`] declares the *target* fleet size as a step
+//! function of time; the engine activates drivers from its pool and
+//! retires them (idle drivers immediately, busy drivers at their next
+//! dropoff) to track the target.
+
+use crate::types::Millis;
+
+/// A piecewise-constant target fleet size: a sorted list of
+/// `(from_ms, drivers)` phases, the first starting at time 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriverSchedule {
+    phases: Vec<(Millis, usize)>,
+}
+
+impl DriverSchedule {
+    /// A constant fleet of `n` drivers — the paper's fixed-fleet setting.
+    pub fn constant(n: usize) -> Self {
+        Self {
+            phases: vec![(0, n)],
+        }
+    }
+
+    /// Builds a schedule from `(from_ms, drivers)` phases.
+    ///
+    /// # Panics
+    /// Panics if `phases` is empty, does not start at time 0, or has
+    /// non-increasing phase start times.
+    pub fn new(phases: Vec<(Millis, usize)>) -> Self {
+        assert!(!phases.is_empty(), "DriverSchedule: no phases");
+        assert_eq!(
+            phases[0].0, 0,
+            "DriverSchedule: the first phase must start at time 0"
+        );
+        assert!(
+            phases.windows(2).all(|w| w[0].0 < w[1].0),
+            "DriverSchedule: phase start times must be strictly increasing"
+        );
+        Self { phases }
+    }
+
+    /// The phases, sorted by start time.
+    pub fn phases(&self) -> &[(Millis, usize)] {
+        &self.phases
+    }
+
+    /// The target fleet size at `now_ms` (the last phase that started).
+    pub fn target_at(&self, now_ms: Millis) -> usize {
+        self.phases
+            .iter()
+            .take_while(|&&(from, _)| from <= now_ms)
+            .last()
+            .expect("first phase starts at 0")
+            .1
+    }
+
+    /// The largest target over all phases — the pool size the engine
+    /// needs to honor the schedule.
+    pub fn max_drivers(&self) -> usize {
+        self.phases.iter().map(|&(_, n)| n).max().unwrap_or(0)
+    }
+
+    /// Whether the target ever changes.
+    pub fn is_constant(&self) -> bool {
+        self.phases.iter().all(|&(_, n)| n == self.phases[0].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_is_flat() {
+        let s = DriverSchedule::constant(40);
+        assert_eq!(s.target_at(0), 40);
+        assert_eq!(s.target_at(u64::MAX), 40);
+        assert_eq!(s.max_drivers(), 40);
+        assert!(s.is_constant());
+    }
+
+    #[test]
+    fn phases_step_at_their_start_times() {
+        let s = DriverSchedule::new(vec![(0, 100), (8 * 3_600_000, 150), (16 * 3_600_000, 80)]);
+        assert_eq!(s.target_at(0), 100);
+        assert_eq!(s.target_at(8 * 3_600_000 - 1), 100);
+        assert_eq!(s.target_at(8 * 3_600_000), 150);
+        assert_eq!(s.target_at(20 * 3_600_000), 80);
+        assert_eq!(s.max_drivers(), 150);
+        assert!(!s.is_constant());
+    }
+
+    #[test]
+    #[should_panic(expected = "start at time 0")]
+    fn first_phase_must_start_at_zero() {
+        DriverSchedule::new(vec![(5, 10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_phases_panic() {
+        DriverSchedule::new(vec![(0, 10), (100, 20), (100, 30)]);
+    }
+}

@@ -25,4 +25,4 @@ pub use geo::{haversine_m, Point};
 pub use grid::{Grid, RegionId, NYC_EXTENT};
 pub use index::RegionIndex;
 pub use road::RoadNetwork;
-pub use travel::{ConstantSpeedModel, RoadNetworkModel, TravelModel};
+pub use travel::{ConstantSpeedModel, Millis, RoadNetworkModel, TravelModel};

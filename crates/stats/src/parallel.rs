@@ -1,0 +1,59 @@
+//! A minimal scoped worker pool for embarrassingly parallel jobs.
+//!
+//! Shared by the experiment harness and the scenario sweep runner: both
+//! fan a fixed job list over `std::thread::scope` workers and need the
+//! results back in input order so sweeps stay deterministic regardless
+//! of the worker count.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Runs `jobs` on up to `threads` scoped workers, preserving input
+/// order. Worker count is clamped to `[1, jobs.len()]`; a panicking job
+/// propagates once the scope joins.
+pub fn parallel_map<J, R, F>(jobs: Vec<J>, threads: usize, f: F) -> Vec<R>
+where
+    J: Send + Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    let n = jobs.len();
+    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..n).collect());
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let jobs_ref = &jobs;
+    let f_ref = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1).min(n.max(1)) {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("queue lock").pop_front();
+                let Some(i) = next else { break };
+                let r = f_ref(&jobs_ref[i]);
+                *results[i].lock().expect("result lock") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("poisoned").expect("job skipped"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = parallel_map((0..40).collect::<Vec<u64>>(), 4, |&j| j * j);
+        assert_eq!(out, (0..40).map(|j| j * j).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn handles_empty_jobs_and_excess_threads() {
+        assert_eq!(
+            parallel_map(Vec::<u64>::new(), 8, |&j| j),
+            Vec::<u64>::new()
+        );
+        assert_eq!(parallel_map(vec![1u64, 2], 16, |&j| j + 1), vec![2, 3]);
+    }
+}

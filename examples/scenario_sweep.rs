@@ -1,0 +1,63 @@
+//! Scenario sweep: run the paper's queueing policy and two baselines
+//! across every built-in workload scenario — surge, airport pulse, rain,
+//! driver shortage, weekend — and print the comparison. Also shows a
+//! spec surviving a JSON round-trip, the way custom scenarios load.
+//!
+//! ```bash
+//! cargo run --release --example scenario_sweep
+//! ```
+
+use mrvd::scenario::{builtins, sweep, ScenarioSpec, SweepPolicy};
+
+fn main() {
+    // Scenarios are plain data: serialize one, parse it back, sweep the
+    // parsed copy — exactly what loading user-authored JSON files does.
+    let specs: Vec<ScenarioSpec> = builtins()
+        .iter()
+        .map(|spec| {
+            let text = serde_json::to_string_pretty(&spec.to_json()).expect("serializable");
+            ScenarioSpec::from_json_str(&text).expect("round-trip")
+        })
+        .collect();
+
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
+    println!(
+        "sweeping {} scenarios × {} policies on {threads} threads…",
+        specs.len(),
+        SweepPolicy::default_set().len()
+    );
+    let cells = sweep(&specs, &SweepPolicy::default_set(), threads);
+
+    println!(
+        "\n{:<18} {:<7} {:>7} {:>7} {:>8} {:>7} {:>12}",
+        "scenario", "policy", "riders", "served", "reneged", "rate", "revenue"
+    );
+    for c in &cells {
+        println!(
+            "{:<18} {:<7} {:>7} {:>7} {:>8} {:>6.1}% {:>12.0}",
+            c.scenario,
+            c.policy,
+            c.total_riders,
+            c.served,
+            c.reneged,
+            c.service_rate * 100.0,
+            c.total_revenue
+        );
+    }
+
+    // A one-line takeaway per scenario: which policy served the most.
+    println!("\nbest served-rate per scenario:");
+    for spec in &specs {
+        let best = cells
+            .iter()
+            .filter(|c| c.scenario == spec.name)
+            .max_by(|a, b| a.service_rate.total_cmp(&b.service_rate))
+            .expect("cells cover every scenario");
+        println!(
+            "  {:<18} {} ({:.1}%)",
+            best.scenario,
+            best.policy,
+            best.service_rate * 100.0
+        );
+    }
+}

@@ -41,6 +41,7 @@
 //! | [`sim`] | `mrvd-sim` | the batch discrete-event simulator |
 //! | [`prediction`] | `mrvd-prediction` | HA / LR / GBRT / DeepST / DeepST-GC |
 //! | [`demand`] | `mrvd-demand` | NYC-like workload generation |
+//! | [`scenario`] | `mrvd-scenario` | declarative workload scenarios + sweeps |
 //! | [`spatial`] | `mrvd-spatial` | grids, travel models, road networks |
 //! | [`matching`] | `mrvd-matching` | greedy / Hungarian / Hopcroft–Karp |
 //! | [`stats`] | `mrvd-stats` | Poisson, chi-square, error metrics |
@@ -50,6 +51,7 @@ pub use mrvd_demand as demand;
 pub use mrvd_matching as matching;
 pub use mrvd_prediction as prediction;
 pub use mrvd_queueing as queueing;
+pub use mrvd_scenario as scenario;
 pub use mrvd_sim as sim;
 pub use mrvd_spatial as spatial;
 pub use mrvd_stats as stats;
@@ -69,9 +71,10 @@ pub mod prelude {
         HistoricalAverage, LinearRegression, Predictor,
     };
     pub use mrvd_queueing::{expected_idle_time, QueueParams, Reneging, SteadyState};
+    pub use mrvd_scenario::{ScenarioSpec, SlowdownModel, SweepPolicy};
     pub use mrvd_sim::{
-        Assignment, BatchContext, DispatchPolicy, DriverId, RiderId, SimConfig, SimResult,
-        Simulator,
+        Assignment, BatchContext, DispatchPolicy, DriverId, DriverSchedule, RiderId, SimConfig,
+        SimResult, Simulator,
     };
     pub use mrvd_spatial::{
         ConstantSpeedModel, Grid, Point, RegionId, RoadNetwork, RoadNetworkModel, TravelModel,
