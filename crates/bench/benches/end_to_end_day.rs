@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mrvd_bench::small_day;
 use mrvd_core::{DemandOracle, DispatchConfig, Near, QueueingPolicy};
-use mrvd_sim::{SimConfig, Simulator};
+use mrvd_sim::{DriverSchedule, SimConfig, Simulator};
 use mrvd_spatial::ConstantSpeedModel;
 
 fn bench_day(c: &mut Criterion) {
@@ -28,6 +28,20 @@ fn bench_day(c: &mut Criterion) {
             let mut policy = Near::default();
             let sim = Simulator::new(SimConfig::default(), &travel, &grid);
             sim.run(&trips, &drivers, &mut policy)
+        })
+    });
+    // The legacy per-Δ loop on the same day: the gap to "NEAR" above is
+    // what the event core's quiescent-slot skipping buys end to end.
+    g.bench_function("NEAR (reference loop)", |b| {
+        b.iter(|| {
+            let mut policy = Near::default();
+            let sim = Simulator::new(SimConfig::default(), &travel, &grid);
+            sim.run_scheduled_reference(
+                &trips,
+                &drivers,
+                &DriverSchedule::constant(drivers.len()),
+                &mut policy,
+            )
         })
     });
     g.finish();

@@ -4,18 +4,22 @@ use mrvd_sim::{Assignment, BatchContext, DispatchPolicy};
 use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
-use crate::candidates::valid_candidates;
+use crate::candidates::{valid_candidates_with, CandidateScratch};
 
 /// Long-trip greedy: assigns the highest-revenue waiting orders first,
 /// each to its nearest valid driver.
 pub struct Ltg {
     /// Candidate budget per rider (as in the queueing policies).
     pub max_candidates: usize,
+    scratch: CandidateScratch,
 }
 
 impl Default for Ltg {
     fn default() -> Self {
-        Self { max_candidates: 32 }
+        Self {
+            max_candidates: 32,
+            scratch: CandidateScratch::new(),
+        }
     }
 }
 
@@ -25,7 +29,7 @@ impl DispatchPolicy for Ltg {
     }
 
     fn assign(&mut self, ctx: &BatchContext<'_>) -> Vec<Assignment> {
-        let cands = valid_candidates(ctx, self.max_candidates);
+        let cands = valid_candidates_with(ctx, self.max_candidates, &mut self.scratch);
         // Riders by descending revenue (travel cost).
         let mut order: Vec<usize> = (0..ctx.riders.len()).collect();
         let revenue: Vec<f64> = ctx
@@ -62,11 +66,15 @@ impl DispatchPolicy for Ltg {
 pub struct Near {
     /// Candidate budget per rider.
     pub max_candidates: usize,
+    scratch: CandidateScratch,
 }
 
 impl Default for Near {
     fn default() -> Self {
-        Self { max_candidates: 32 }
+        Self {
+            max_candidates: 32,
+            scratch: CandidateScratch::new(),
+        }
     }
 }
 
@@ -76,7 +84,7 @@ impl DispatchPolicy for Near {
     }
 
     fn assign(&mut self, ctx: &BatchContext<'_>) -> Vec<Assignment> {
-        let cands = valid_candidates(ctx, self.max_candidates);
+        let cands = valid_candidates_with(ctx, self.max_candidates, &mut self.scratch);
         let mut edges: Vec<(u64, usize, usize)> = Vec::with_capacity(cands.num_pairs());
         for (r, list) in cands.pairs.iter().enumerate() {
             for &(d, t) in list {
@@ -108,6 +116,7 @@ pub struct Rand {
     rng: StdRng,
     /// Candidate budget per rider.
     pub max_candidates: usize,
+    scratch: CandidateScratch,
 }
 
 impl Rand {
@@ -116,6 +125,7 @@ impl Rand {
         Self {
             rng: StdRng::seed_from_u64(seed),
             max_candidates: 32,
+            scratch: CandidateScratch::new(),
         }
     }
 }
@@ -126,7 +136,7 @@ impl DispatchPolicy for Rand {
     }
 
     fn assign(&mut self, ctx: &BatchContext<'_>) -> Vec<Assignment> {
-        let cands = valid_candidates(ctx, self.max_candidates);
+        let cands = valid_candidates_with(ctx, self.max_candidates, &mut self.scratch);
         let mut order: Vec<usize> = (0..ctx.riders.len()).collect();
         order.shuffle(&mut self.rng);
         let mut taken = vec![false; ctx.drivers.len()];
@@ -149,6 +159,14 @@ impl DispatchPolicy for Rand {
             });
         }
         out
+    }
+
+    /// RAND's per-rider shuffle and draw advance the RNG even on batches
+    /// that assign nobody, so its output stream depends on the call
+    /// count: the engine must keep invoking it every batch while riders
+    /// wait, exactly like the paper's literal loop.
+    fn invoke_every_batch(&self) -> bool {
+        true
     }
 }
 

@@ -5,9 +5,16 @@
 //! bound, the search expands over grid rings only as far as the deadline
 //! allows (the radius-bounded search described in DESIGN.md); otherwise
 //! it scans all drivers (small instances, road networks).
+//!
+//! Policies call this every batch; a [`CandidateScratch`] owned by the
+//! caller keeps the spatial index's bucket allocations (and the ring
+//! query's hit buffer) alive across batches, so steady state pays only
+//! driver re-insertion — no `Grid` clone, no fresh `Vec` per region per
+//! batch. This is the first step toward the fully incremental candidate
+//! index on the roadmap (drivers move only at dropoffs).
 
 use mrvd_sim::BatchContext;
-use mrvd_spatial::RegionIndex;
+use mrvd_spatial::{Point, RegionIndex};
 
 /// Valid pairs per rider: `pairs[i]` lists `(driver_index, pickup_travel_ms)`
 /// for rider `ctx.riders[i]`, sorted by pickup travel time and truncated
@@ -38,13 +45,52 @@ impl CandidateSet {
     }
 }
 
+/// Reusable state for [`valid_candidates_with`], owned by the policy and
+/// carried across batches: the per-region driver index (buckets are
+/// cleared, never reallocated, while the grid stays the same) and the
+/// ring query's hit buffer.
+#[derive(Debug, Default)]
+pub struct CandidateScratch {
+    index: Option<RegionIndex<usize>>,
+    hits: Vec<(usize, Point)>,
+}
+
+impl CandidateScratch {
+    /// An empty scratch; the first batch sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Generates the valid candidate set for one batch.
+///
+/// Convenience wrapper over [`valid_candidates_with`] paying a fresh
+/// scratch (grid clone + per-region buckets) on every call; policies
+/// that run once per batch should hold a [`CandidateScratch`] instead.
 pub fn valid_candidates(ctx: &BatchContext<'_>, max_candidates: usize) -> CandidateSet {
+    valid_candidates_with(ctx, max_candidates, &mut CandidateScratch::new())
+}
+
+/// Generates the valid candidate set for one batch, reusing
+/// caller-held scratch across batches.
+pub fn valid_candidates_with(
+    ctx: &BatchContext<'_>,
+    max_candidates: usize,
+    scratch: &mut CandidateScratch,
+) -> CandidateSet {
     let mut pairs = Vec::with_capacity(ctx.riders.len());
-    // Spatial index of available drivers (by driver *index*).
+    // Spatial index of available drivers (by driver *index*), rebuilt in
+    // place: positions change every batch, allocations do not.
     let speed_bound = ctx.travel.speed_bound_mps();
+    let CandidateScratch { index, hits } = scratch;
     let index = speed_bound.map(|_| {
-        let mut ix = RegionIndex::new(ctx.grid.clone());
+        let ix = match index {
+            Some(ix) => {
+                ix.retarget(ctx.grid);
+                ix
+            }
+            None => index.insert(RegionIndex::new(ctx.grid.clone())),
+        };
         for (i, d) in ctx.drivers.iter().enumerate() {
             ix.insert(i, d.pos);
         }
@@ -55,9 +101,9 @@ pub fn valid_candidates(ctx: &BatchContext<'_>, max_candidates: usize) -> Candid
         let mut cands: Vec<(usize, u64)> = match (&index, speed_bound) {
             (Some(ix), Some(v)) => {
                 let radius_m = v * budget_ms as f64 / 1000.0;
-                ix.within_radius(rider.pickup, radius_m, usize::MAX)
-                    .into_iter()
-                    .filter_map(|(i, pos)| {
+                ix.within_radius_into(rider.pickup, radius_m, usize::MAX, hits);
+                hits.iter()
+                    .filter_map(|&(i, pos)| {
                         let t = ctx.travel.travel_time_ms(pos, rider.pickup);
                         (ctx.now_ms + t <= rider.deadline_ms).then_some((i, t))
                     })
@@ -188,6 +234,38 @@ mod tests {
             assert!(w[0].1 <= w[1].1);
         }
         assert_eq!(c.pairs[0][0].1, 0);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch_across_changing_batches() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let mut scratch = CandidateScratch::new();
+        // Three "batches" with different driver sets, rider sets and
+        // timestamps; the reused scratch must never leak state between
+        // them.
+        for (now_ms, n_drivers, deadline) in [
+            (0u64, 40usize, 240_000u64),
+            (3_000, 7, 30_000),
+            (6_000, 25, 120_000),
+        ] {
+            let riders = [
+                rider(Point::new(-73.98, 40.75), deadline),
+                rider(Point::new(-73.92, 40.80), deadline),
+            ];
+            let drivers = drivers_line(n_drivers);
+            let ctx = BatchContext {
+                now_ms,
+                riders: &riders,
+                drivers: &drivers,
+                busy: &[],
+                travel: &travel,
+                grid: &grid,
+            };
+            let reused = valid_candidates_with(&ctx, 8, &mut scratch);
+            let fresh = valid_candidates(&ctx, 8);
+            assert_eq!(reused.pairs, fresh.pairs, "diverged at now={now_ms}");
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod rates;
 pub mod upper;
 
 pub use baselines::{Ltg, Near, Rand};
-pub use candidates::{valid_candidates, CandidateSet};
+pub use candidates::{valid_candidates, valid_candidates_with, CandidateScratch, CandidateSet};
 pub use config::DispatchConfig;
 pub use oracle::DemandOracle;
 pub use polar::{Polar, PolarConfig};

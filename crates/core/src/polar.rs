@@ -27,7 +27,7 @@ use mrvd_demand::SLOT_MS;
 use mrvd_sim::{Assignment, BatchContext, DispatchPolicy};
 use mrvd_spatial::{Grid, RegionId};
 
-use crate::candidates::valid_candidates;
+use crate::candidates::{valid_candidates_with, CandidateScratch};
 use crate::oracle::DemandOracle;
 
 /// POLAR parameters.
@@ -57,6 +57,7 @@ pub struct Polar {
     /// Remaining flow of the slot currently being executed.
     remaining: HashMap<(u32, u32), f64>,
     current_slot: Option<usize>,
+    scratch: CandidateScratch,
 }
 
 impl Polar {
@@ -122,6 +123,7 @@ impl Polar {
             blueprint,
             remaining: HashMap::new(),
             current_slot: None,
+            scratch: CandidateScratch::new(),
         }
     }
 
@@ -141,7 +143,7 @@ impl DispatchPolicy for Polar {
 
     fn assign(&mut self, ctx: &BatchContext<'_>) -> Vec<Assignment> {
         self.roll_slot(ctx.now_ms);
-        let cands = valid_candidates(ctx, self.cfg.max_candidates);
+        let cands = valid_candidates_with(ctx, self.cfg.max_candidates, &mut self.scratch);
         // Score every valid pair.
         struct Scored {
             score: f64,

@@ -26,7 +26,7 @@ use std::collections::BinaryHeap;
 
 use mrvd_sim::{Assignment, BatchContext, DispatchPolicy};
 
-use crate::candidates::valid_candidates;
+use crate::candidates::{valid_candidates_with, CandidateScratch};
 use crate::config::DispatchConfig;
 use crate::oracle::DemandOracle;
 use crate::rates::{estimate_rates, et_for, idle_ratio};
@@ -58,6 +58,7 @@ pub struct QueueingPolicy {
     oracle: DemandOracle,
     mode: SearchMode,
     rule: PriorityRule,
+    scratch: CandidateScratch,
 }
 
 impl QueueingPolicy {
@@ -77,6 +78,7 @@ impl QueueingPolicy {
             oracle,
             mode,
             rule,
+            scratch: CandidateScratch::new(),
         }
     }
 
@@ -159,7 +161,7 @@ impl DispatchPolicy for QueueingPolicy {
         let mut version = vec![0u32; et.len()];
 
         // Valid pairs (Algorithm 2, lines 3–5).
-        let cands = valid_candidates(ctx, self.cfg.max_candidates);
+        let cands = valid_candidates_with(ctx, self.cfg.max_candidates, &mut self.scratch);
         let rider_cost: Vec<f64> = ctx
             .riders
             .iter()

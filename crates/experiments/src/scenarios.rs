@@ -5,7 +5,10 @@
 //! exactly as declared (a scenario's volume and fleet are part of its
 //! definition), so `--scale`/`--instances` do not apply; `--threads` and
 //! `--out` do. Results go to the console table and to
-//! `<out>/BENCH_scenarios.json` so CI can track the trajectory.
+//! `<out>/BENCH_scenarios.json` (policy-quality metrics) plus
+//! `<out>/BENCH_engine.json` (event-engine counters: empty-batch skip
+//! rate, events processed, wall clock per cell) so CI tracks both the
+//! dispatching quality and the engine's performance trajectory.
 
 use mrvd_scenario::{builtins, sweep, SweepPolicy};
 use serde_json::{json, Value};
@@ -37,6 +40,7 @@ pub fn scenarios(opts: &Options) {
                 c.reneged.to_string(),
                 format!("{:.1}%", c.service_rate * 100.0),
                 format!("{:.0}", c.total_revenue),
+                format!("{:.0}%", c.skip_rate * 100.0),
                 format!("{:.2}", c.wall_s),
             ]
         })
@@ -44,7 +48,8 @@ pub fn scenarios(opts: &Options) {
     print_table(
         "Scenario sweep — policies × built-in scenarios",
         &[
-            "scenario", "policy", "riders", "served", "reneged", "rate", "revenue", "wall (s)",
+            "scenario", "policy", "riders", "served", "reneged", "rate", "revenue", "skip",
+            "wall (s)",
         ],
         &rows,
     );
@@ -75,6 +80,41 @@ pub fn scenarios(opts: &Options) {
             "policies": policies.iter().map(|p| p.label()).collect::<Vec<&str>>(),
             "specs": spec_values,
             "cells": cell_values,
+        }),
+    );
+
+    // Engine counters per cell: how much of the batch grid the event
+    // core skipped, and how many true-time events it applied.
+    let engine_cells: Vec<Value> = cells
+        .iter()
+        .map(|c| {
+            json!({
+                "scenario": c.scenario,
+                "policy": c.policy,
+                "batches": c.batches,
+                "ticks_executed": c.ticks_executed,
+                "ticks_skipped": c.ticks_skipped,
+                "skip_rate": c.skip_rate,
+                "events_processed": c.events_processed,
+                "wall_s": c.wall_s,
+            })
+        })
+        .collect();
+    let total_batches: usize = cells.iter().map(|c| c.batches).sum();
+    let total_executed: usize = cells.iter().map(|c| c.ticks_executed).sum();
+    dump_json(
+        opts,
+        "BENCH_engine",
+        json!({
+            "threads": opts.threads,
+            "total_wall_s": total_wall_s,
+            "total_batches": total_batches,
+            "total_ticks_executed": total_executed,
+            "overall_skip_rate": if total_batches == 0 { 0.0 } else {
+                (total_batches - total_executed) as f64 / total_batches as f64
+            },
+            "total_events_processed": cells.iter().map(|c| c.events_processed).sum::<usize>(),
+            "cells": engine_cells,
         }),
     );
 }

@@ -36,6 +36,6 @@ pub use builtins::{
     weekend_lull,
 };
 pub use spec::{DriverPhase, HotspotInjection, ScenarioSpec, SimOverrides, SurgeWindow};
-pub use sweep::{run_scenario, sweep, SweepCell, SweepPolicy};
+pub use sweep::{run_scenario, run_scenario_reference, sweep, SweepCell, SweepPolicy};
 pub use travel::SlowdownModel;
 pub use workload::{ScenarioShaper, ScenarioWorkload};

@@ -69,7 +69,7 @@ impl SweepPolicy {
     }
 }
 
-/// Runs one policy over one materialized scenario.
+/// Runs one policy over one materialized scenario on the event core.
 pub fn run_scenario(workload: &ScenarioWorkload, policy: SweepPolicy) -> SimResult {
     let sim = Simulator::new(
         workload.sim_config.clone(),
@@ -78,6 +78,25 @@ pub fn run_scenario(workload: &ScenarioWorkload, policy: SweepPolicy) -> SimResu
     );
     let mut p = policy.build(workload);
     sim.run_scheduled(
+        &workload.trips,
+        &workload.driver_pool,
+        &workload.schedule,
+        p.as_mut(),
+    )
+}
+
+/// Runs one policy over one materialized scenario on the legacy per-Δ
+/// batch loop ([`Simulator::run_scheduled_reference`]) — the
+/// differential baseline the engine-equivalence battery compares
+/// [`run_scenario`] against.
+pub fn run_scenario_reference(workload: &ScenarioWorkload, policy: SweepPolicy) -> SimResult {
+    let sim = Simulator::new(
+        workload.sim_config.clone(),
+        &workload.travel,
+        &workload.grid,
+    );
+    let mut p = policy.build(workload);
+    sim.run_scheduled_reference(
         &workload.trips,
         &workload.driver_pool,
         &workload.schedule,
@@ -106,6 +125,17 @@ pub struct SweepCell {
     pub batch_time_s: f64,
     /// Wall-clock seconds for the whole cell (simulation + policy).
     pub wall_s: f64,
+    /// Batch slots in the horizon (`⌈horizon / Δ⌉`).
+    pub batches: usize,
+    /// Batch slots at which the policy actually ran (the event core
+    /// skips quiescent slots).
+    pub ticks_executed: usize,
+    /// Batch slots skipped ([`mrvd_sim::SimResult::ticks_skipped`]).
+    pub ticks_skipped: usize,
+    /// Skipped fraction of slots ([`mrvd_sim::SimResult::skip_rate`]).
+    pub skip_rate: f64,
+    /// State-transition events the engine applied at true event times.
+    pub events_processed: usize,
 }
 
 /// Sweeps `policies` × `specs` on `threads` workers. Each scenario is
@@ -133,6 +163,11 @@ pub fn sweep(specs: &[ScenarioSpec], policies: &[SweepPolicy], threads: usize) -
             total_revenue: result.total_revenue,
             batch_time_s: result.mean_batch_time_s(),
             wall_s: t0.elapsed().as_secs_f64(),
+            batches: result.batches,
+            ticks_executed: result.ticks_executed,
+            ticks_skipped: result.ticks_skipped(),
+            skip_rate: result.skip_rate(),
+            events_processed: result.events_processed,
         }
     })
 }
@@ -173,6 +208,13 @@ mod tests {
         for c in &cells {
             assert!(c.served + c.reneged <= c.total_riders);
             assert!(c.wall_s >= 0.0);
+            assert!(c.ticks_executed <= c.batches);
+            assert_eq!(c.ticks_skipped, c.batches - c.ticks_executed);
+            assert!((0.0..=1.0).contains(&c.skip_rate));
+            assert!(
+                c.events_processed >= c.total_riders,
+                "every admission is an event"
+            );
         }
     }
 }

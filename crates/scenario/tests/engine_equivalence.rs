@@ -1,0 +1,152 @@
+//! Engine-equivalence battery: the event-driven core and the legacy
+//! per-Δ batch loop must produce identical `SimResult`s on every
+//! built-in scenario (the built-ins all use Δ-aligned driver phases, so
+//! equivalence is exact, not approximate).
+//!
+//! The default tests run each built-in at reduced volume but the *paper
+//! default Δ = 3 s*, so the skip logic is exercised across thousands of
+//! batch slots per scenario. The `#[ignore]`d test runs the full-scale
+//! acceptance check — all six built-ins × the default policy set — and
+//! is executed by CI's `cargo test -- --ignored` pass.
+
+use mrvd_scenario::{builtins, run_scenario, run_scenario_reference, ScenarioSpec, SweepPolicy};
+use mrvd_sim::SimResult;
+
+/// Shrinks a built-in to 20% volume/fleet, keeping the default Δ = 3 s,
+/// so one debug-mode differential run stays in the low seconds.
+fn quick(spec: ScenarioSpec) -> ScenarioSpec {
+    spec.scaled(0.2)
+}
+
+fn assert_equivalent(name: &str, fast: &SimResult, slow: &SimResult) {
+    assert_eq!(fast.served, slow.served, "{name}: served diverged");
+    assert_eq!(fast.reneged, slow.reneged, "{name}: reneged diverged");
+    assert_eq!(
+        fast.still_waiting, slow.still_waiting,
+        "{name}: still_waiting diverged"
+    );
+    assert_eq!(
+        fast.total_riders, slow.total_riders,
+        "{name}: total_riders diverged"
+    );
+    assert_eq!(
+        fast.total_revenue.to_bits(),
+        slow.total_revenue.to_bits(),
+        "{name}: revenue diverged ({} vs {})",
+        fast.total_revenue,
+        slow.total_revenue
+    );
+    assert_eq!(fast.batches, slow.batches, "{name}: batches diverged");
+    assert_eq!(
+        fast.assignments.len(),
+        slow.assignments.len(),
+        "{name}: assignment count diverged"
+    );
+    for (i, (a, b)) in fast.assignments.iter().zip(&slow.assignments).enumerate() {
+        assert_eq!(
+            (
+                a.rider,
+                a.driver,
+                a.batch_ms,
+                a.pickup_ms,
+                a.dropoff_ms,
+                a.driver_idle_ms,
+                a.revenue.to_bits()
+            ),
+            (
+                b.rider,
+                b.driver,
+                b.batch_ms,
+                b.pickup_ms,
+                b.dropoff_ms,
+                b.driver_idle_ms,
+                b.revenue.to_bits()
+            ),
+            "{name}: assignment {i} diverged"
+        );
+    }
+    // Same riders renege; the event core charges them at the exact
+    // deadline, the legacy loop up to Δ later — never earlier.
+    assert_eq!(
+        fast.reneges.len(),
+        slow.reneges.len(),
+        "{name}: renege count diverged"
+    );
+    let ids = |r: &SimResult| {
+        let mut v: Vec<u32> = r.reneges.iter().map(|x| x.rider.0).collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(ids(fast), ids(slow), "{name}: reneged riders diverged");
+}
+
+fn assert_builtin_equivalent(name: &str, policy: SweepPolicy) {
+    let spec = quick(
+        builtins()
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("no builtin named {name}")),
+    );
+    let workload = spec.materialize();
+    let fast = run_scenario(&workload, policy);
+    let slow = run_scenario_reference(&workload, policy);
+    assert_equivalent(name, &fast, &slow);
+    // The event core must actually skip work, not just match: every
+    // built-in day has quiet stretches at Δ = 3 s.
+    assert!(
+        fast.ticks_executed < slow.ticks_executed,
+        "{name}: no slot skipped ({} of {})",
+        fast.ticks_executed,
+        fast.batches
+    );
+    assert!(fast.events_processed > 0, "{name}: no events processed");
+}
+
+#[test]
+fn baseline_weekday_matches_reference() {
+    assert_builtin_equivalent("baseline-weekday", SweepPolicy::Near);
+}
+
+#[test]
+fn rush_hour_surge_matches_reference() {
+    assert_builtin_equivalent("rush-hour-surge", SweepPolicy::Ltg);
+}
+
+#[test]
+fn airport_pulse_matches_reference() {
+    assert_builtin_equivalent("airport-pulse", SweepPolicy::Near);
+}
+
+#[test]
+fn rain_slowdown_matches_reference() {
+    assert_builtin_equivalent("rain-slowdown", SweepPolicy::Near);
+}
+
+#[test]
+fn driver_shortage_matches_reference() {
+    // The shortage regime keeps riders waiting with no supply — the
+    // adversarial case for skip logic and for RAND's per-batch RNG
+    // stream (kept aligned via `invoke_every_batch`).
+    assert_builtin_equivalent("driver-shortage", SweepPolicy::Rand);
+}
+
+#[test]
+fn weekend_lull_matches_reference() {
+    assert_builtin_equivalent("weekend-lull", SweepPolicy::IrgReal);
+}
+
+/// The full-scale acceptance check: all six built-ins at their declared
+/// volume, Δ = 3 s, against the default comparison policy set. Takes a
+/// few minutes in debug; CI's `--ignored` pass covers it.
+#[test]
+#[ignore = "full-scale differential run (minutes); cargo test -- --ignored"]
+fn all_builtins_match_reference_at_full_scale() {
+    for spec in builtins() {
+        let workload = spec.materialize();
+        for policy in SweepPolicy::default_set() {
+            let fast = run_scenario(&workload, policy);
+            let slow = run_scenario_reference(&workload, policy);
+            assert_equivalent(&format!("{}/{}", spec.name, policy.label()), &fast, &slow);
+        }
+    }
+}

@@ -1,4 +1,21 @@
-//! The batch-based simulation engine (Algorithm 1's outer loop).
+//! The simulation engine: a discrete-event core behind the paper's
+//! batch-dispatch semantics (Algorithm 1).
+//!
+//! The paper's outer loop wakes every Δ and re-scans the world; this
+//! engine instead keeps one time-ordered event queue — rider arrivals,
+//! rider deadlines (reneges), dropoffs and shift changes — and applies
+//! every state transition at its *true* event time. The dispatch policy
+//! is still invoked only at batch timestamps `0, Δ, 2Δ, …` (the paper's
+//! semantics), but batch slots where nothing changed since the previous
+//! invocation are skipped outright, so an idle overnight hour costs a
+//! heap peek instead of 1200 policy calls, and reneges are charged at
+//! the rider's exact `deadline_ms` rather than the next tick (the
+//! quantity the queueing model's abandonment dynamics depend on).
+//!
+//! [`Simulator::run_scheduled_reference`] (in `reference.rs`) retains
+//! the literal per-Δ loop for differential testing: on Δ-aligned inputs
+//! both engines produce identical [`SimResult`]s, and a test battery
+//! plus proptests pin that equivalence.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -8,7 +25,7 @@ use mrvd_spatial::{Grid, Point, TravelModel};
 use mrvd_stats::SummaryStats;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
-use crate::metrics::{AssignmentRecord, SimResult};
+use crate::metrics::{AssignmentRecord, RenegeRecord, SimResult};
 use crate::policy::{AvailableDriver, BatchContext, BusyDriver, DispatchPolicy, WaitingRider};
 use crate::schedule::DriverSchedule;
 use crate::types::{DriverId, Millis, RiderId};
@@ -44,7 +61,7 @@ impl Default for SimConfig {
 
 /// Internal driver state.
 #[derive(Debug, Clone, Copy)]
-enum DriverState {
+pub(crate) enum DriverState {
     Available {
         pos: Point,
         since_ms: Millis,
@@ -58,6 +75,88 @@ enum DriverState {
     Offline {
         pos: Point,
     },
+}
+
+/// A rider with the realized pickup deadline.
+pub(crate) struct RiderInfo {
+    pub trip: TripRecord,
+    pub deadline_ms: Millis,
+}
+
+// Within-timestamp event order, matching the legacy loop's within-tick
+// processing: dropoffs free drivers first, then shift changes see the
+// updated fleet, then the batch runs. A deadline at exactly the batch
+// timestamp has *not* passed (the loop reneges on `deadline < now`), so
+// deadline events sort after everything else at their timestamp and are
+// only applied once time moves strictly past them.
+const PRI_DROPOFF: u8 = 0;
+const PRI_SHIFT: u8 = 1;
+const PRI_DEADLINE: u8 = 2;
+
+/// Reconciles the active fleet with a shift-change target, exactly as
+/// the legacy per-batch scan did: ramp-ups cancel pending retirements
+/// first, then wake pooled offline drivers in pool order; ramp-downs
+/// park idle drivers from the pool's tail and mark busy ones (also from
+/// the tail) to retire at their next dropoff. Returns whether any
+/// driver actually moved state.
+fn reconcile_fleet(
+    drivers: &mut [DriverState],
+    retiring: &mut [bool],
+    target: usize,
+    now: Millis,
+) -> bool {
+    let online = drivers
+        .iter()
+        .zip(retiring.iter())
+        .filter(|(d, &r)| !matches!(d, DriverState::Offline { .. }) && !r)
+        .count();
+    let mut moved = false;
+    if online < target {
+        let mut need = target - online;
+        for r in retiring.iter_mut() {
+            if need == 0 {
+                break;
+            }
+            if *r {
+                *r = false;
+                need -= 1;
+                moved = true;
+            }
+        }
+        for d in drivers.iter_mut() {
+            if need == 0 {
+                break;
+            }
+            if let DriverState::Offline { pos } = *d {
+                *d = DriverState::Available { pos, since_ms: now };
+                need -= 1;
+                moved = true;
+            }
+        }
+    } else if online > target {
+        let mut excess = online - target;
+        for d in drivers.iter_mut().rev() {
+            if excess == 0 {
+                break;
+            }
+            if let DriverState::Available { pos, .. } = *d {
+                *d = DriverState::Offline { pos };
+                excess -= 1;
+                moved = true;
+            }
+        }
+        for (d, r) in drivers.iter().zip(retiring.iter_mut()).rev() {
+            if excess == 0 {
+                break;
+            }
+            if matches!(d, DriverState::Busy { .. }) && !*r {
+                *r = true;
+                excess -= 1;
+                moved = true;
+            }
+        }
+    }
+    moved
 }
 
 /// The simulator: binds a travel model, a grid and a config; `run`
@@ -95,6 +194,61 @@ impl<'a> Simulator<'a> {
         &self.config
     }
 
+    /// The travel model.
+    pub(crate) fn travel(&self) -> &'a dyn TravelModel {
+        self.travel
+    }
+
+    /// The region partition.
+    pub(crate) fn grid(&self) -> &'a Grid {
+        self.grid
+    }
+
+    /// Validates run inputs (shared with the reference loop).
+    ///
+    /// # Panics
+    /// Panics on unsorted/out-of-horizon trips or an oversized schedule.
+    pub(crate) fn assert_inputs(
+        &self,
+        trips: &[TripRecord],
+        driver_pool: &[Point],
+        schedule: &DriverSchedule,
+    ) {
+        assert!(
+            schedule.max_drivers() <= driver_pool.len(),
+            "Simulator: schedule targets {} drivers but the pool holds {}",
+            schedule.max_drivers(),
+            driver_pool.len()
+        );
+        assert!(
+            trips.windows(2).all(|w| w[0].request_ms <= w[1].request_ms),
+            "Simulator: trips must be sorted by request time"
+        );
+        assert!(
+            trips
+                .last()
+                .is_none_or(|t| t.request_ms < self.config.horizon_ms),
+            "Simulator: trips beyond the horizon"
+        );
+    }
+
+    /// Builds the rider table: deadline = request + base + U[noise],
+    /// drawn from the config seed (shared with the reference loop so
+    /// both engines see identical deadlines).
+    pub(crate) fn rider_table(&self, trips: &[TripRecord]) -> Vec<RiderInfo> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let (noise_lo, noise_hi) = self.config.wait_noise_ms;
+        trips
+            .iter()
+            .map(|&trip| RiderInfo {
+                deadline_ms: trip.request_ms
+                    + self.config.base_wait_ms
+                    + rng.gen_range(noise_lo..=noise_hi),
+                trip,
+            })
+            .collect()
+    }
+
     /// Runs one day: `trips` must be sorted by `request_ms` and fall
     /// within the horizon; `driver_positions` seed the fleet.
     ///
@@ -116,13 +270,21 @@ impl<'a> Simulator<'a> {
         )
     }
 
-    /// Runs one day with a time-varying fleet: `driver_pool` holds the
-    /// spawn positions of every driver that may ever be on shift, and
-    /// `schedule` gives the target fleet size over time. Excess drivers
-    /// retire at shift changes — idle drivers immediately, busy drivers
-    /// at their next dropoff (a retiring driver disappears from the
-    /// policy's busy view since it will not rejoin). A constant schedule
-    /// over the full pool reproduces [`Simulator::run`] exactly.
+    /// Runs one day with a time-varying fleet on the event core:
+    /// `driver_pool` holds the spawn positions of every driver that may
+    /// ever be on shift, and `schedule` gives the target fleet size over
+    /// time. Excess drivers retire at shift changes — idle drivers
+    /// immediately, busy drivers at their next dropoff (a retiring
+    /// driver disappears from the policy's busy view since it will not
+    /// rejoin). A constant schedule over the full pool reproduces
+    /// [`Simulator::run`] exactly.
+    ///
+    /// State transitions (admissions, reneges, dropoffs, shift changes)
+    /// are applied at their true event times; the policy runs at batch
+    /// timestamps, and quiescent batch slots are skipped (see
+    /// [`DispatchPolicy::invoke_every_batch`] for the exactness
+    /// contract). [`SimResult::ticks_executed`] and
+    /// [`SimResult::events_processed`] expose the engine counters.
     ///
     /// # Panics
     /// Panics under the same conditions as [`Simulator::run`], or if the
@@ -134,40 +296,12 @@ impl<'a> Simulator<'a> {
         schedule: &DriverSchedule,
         policy: &mut dyn DispatchPolicy,
     ) -> SimResult {
-        assert!(
-            schedule.max_drivers() <= driver_pool.len(),
-            "Simulator: schedule targets {} drivers but the pool holds {}",
-            schedule.max_drivers(),
-            driver_pool.len()
-        );
-        assert!(
-            trips.windows(2).all(|w| w[0].request_ms <= w[1].request_ms),
-            "Simulator: trips must be sorted by request time"
-        );
-        assert!(
-            trips
-                .last()
-                .is_none_or(|t| t.request_ms < self.config.horizon_ms),
-            "Simulator: trips beyond the horizon"
-        );
+        self.assert_inputs(trips, driver_pool, schedule);
         let teleport = policy.teleports_pickup();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let (noise_lo, noise_hi) = self.config.wait_noise_ms;
-
-        // Rider table: deadline = request + base + U[noise].
-        struct RiderInfo {
-            trip: TripRecord,
-            deadline_ms: Millis,
-        }
-        let riders: Vec<RiderInfo> = trips
-            .iter()
-            .map(|&trip| RiderInfo {
-                deadline_ms: trip.request_ms
-                    + self.config.base_wait_ms
-                    + rng.gen_range(noise_lo..=noise_hi),
-                trip,
-            })
-            .collect();
+        let every_batch = policy.invoke_every_batch();
+        let riders = self.rider_table(trips);
+        let delta = self.config.batch_interval_ms;
+        let horizon = self.config.horizon_ms;
 
         // Drivers up to the initial target start on shift; the rest of
         // the pool waits offline at its spawn position.
@@ -185,116 +319,129 @@ impl<'a> Simulator<'a> {
             .collect();
         // Busy drivers marked here retire (go offline) at their dropoff.
         let mut retiring = vec![false; drivers.len()];
-        // A constant schedule (the paper's fixed-fleet setting and every
-        // `run()` call) never moves drivers on or off shift, so the
-        // per-batch online-count scan below can be skipped entirely.
-        let track_schedule = !schedule.is_constant();
-        let mut dropoff_heap: BinaryHeap<Reverse<(Millis, u32)>> = BinaryHeap::new();
+        let phases = schedule.phases();
+        // Phase 0 seeded the fleet above; later phases fire as events.
+        let mut next_phase = 1usize;
+
+        // The event queue: `(time, priority, payload)` min-heap holding
+        // dropoffs (payload = driver index) and deadlines (payload =
+        // rider index). Arrivals ride the sorted trip slice through
+        // `next_trip`, shift changes ride the sorted phase list through
+        // `next_phase`; both merge into the same time order below.
+        let mut events: BinaryHeap<Reverse<(Millis, u8, u32)>> = BinaryHeap::new();
 
         let mut waiting: Vec<u32> = Vec::new(); // rider indices
         let mut next_trip = 0usize;
         let mut served = 0usize;
-        let mut reneged = 0usize;
         let mut total_revenue = 0.0f64;
         let mut assignments: Vec<AssignmentRecord> = Vec::new();
+        let mut reneges: Vec<RenegeRecord> = Vec::new();
         let mut batch_time = SummaryStats::new();
-        let mut batches = 0usize;
+        let mut ticks_executed = 0usize;
+        let mut events_processed = 0usize;
         // Scratch flags for validation.
         let mut rider_assigned = vec![false; riders.len()];
 
-        let mut now = 0u64;
-        while now < self.config.horizon_ms {
-            // 1. Free drivers whose dropoff has passed.
-            while let Some(&Reverse((t, d))) = dropoff_heap.peek() {
-                if t > now {
+        // Per-batch scratch, hoisted out of the loop (the legacy loop
+        // reallocated all four every tick).
+        let mut waiting_view: Vec<WaitingRider> = Vec::new();
+        let mut avail_view: Vec<AvailableDriver> = Vec::new();
+        let mut busy_view: Vec<BusyDriver> = Vec::new();
+        let mut driver_taken = vec![false; drivers.len()];
+
+        let mut tick: Millis = 0;
+        // Any state change since the last executed batch.
+        let mut changed = false;
+        // The last executed batch applied ≥ 1 assignment (candidate
+        // budgets may then surface previously truncated pairs, so the
+        // next slot must run even without new events).
+        let mut last_assigned = false;
+
+        while tick < horizon {
+            // 1. Admit riders whose request time has passed, scheduling
+            // each one's exact-deadline renege event.
+            while next_trip < riders.len() && riders[next_trip].trip.request_ms <= tick {
+                waiting.push(next_trip as u32);
+                events.push(Reverse((
+                    riders[next_trip].deadline_ms,
+                    PRI_DEADLINE,
+                    next_trip as u32,
+                )));
+                next_trip += 1;
+                events_processed += 1;
+                changed = true;
+            }
+            // 2. Apply dropoffs, shift changes and passed deadlines in
+            // timestamp order, each at its true event time.
+            loop {
+                let heap_next = events.peek().map(|&Reverse(k)| k);
+                let phase_next = phases
+                    .get(next_phase)
+                    .map(|&(from, _)| (from, PRI_SHIFT, next_phase as u32));
+                let Some((t, pri, id)) = (match (heap_next, phase_next) {
+                    (Some(h), Some(p)) => Some(h.min(p)),
+                    (h, p) => h.or(p),
+                }) else {
+                    break;
+                };
+                let due = if pri == PRI_DEADLINE {
+                    t < tick
+                } else {
+                    t <= tick
+                };
+                if !due {
                     break;
                 }
-                dropoff_heap.pop();
-                let DriverState::Busy { until_ms, dropoff } = drivers[d as usize] else {
-                    unreachable!("heap entry for a non-busy driver");
-                };
-                debug_assert_eq!(until_ms, t);
-                drivers[d as usize] = if retiring[d as usize] {
-                    retiring[d as usize] = false;
-                    DriverState::Offline { pos: dropoff }
-                } else {
-                    DriverState::Available {
-                        pos: dropoff,
-                        since_ms: t,
+                match pri {
+                    PRI_DROPOFF => {
+                        events.pop();
+                        let d = id as usize;
+                        let DriverState::Busy { until_ms, dropoff } = drivers[d] else {
+                            unreachable!("dropoff event for a non-busy driver");
+                        };
+                        debug_assert_eq!(until_ms, t);
+                        drivers[d] = if retiring[d] {
+                            retiring[d] = false;
+                            DriverState::Offline { pos: dropoff }
+                        } else {
+                            DriverState::Available {
+                                pos: dropoff,
+                                since_ms: t,
+                            }
+                        };
+                        events_processed += 1;
+                        changed = true;
                     }
-                };
-            }
-            // 1b. Track the schedule target: activate pooled drivers on a
-            // ramp-up (cancelling pending retirements first), retire on a
-            // ramp-down (idle drivers immediately, busy ones at dropoff).
-            if track_schedule {
-                let target = schedule.target_at(now);
-                let online = drivers
-                    .iter()
-                    .zip(&retiring)
-                    .filter(|(d, &r)| !matches!(d, DriverState::Offline { .. }) && !r)
-                    .count();
-                if online < target {
-                    let mut need = target - online;
-                    for r in retiring.iter_mut() {
-                        if need == 0 {
-                            break;
-                        }
-                        if *r {
-                            *r = false;
-                            need -= 1;
-                        }
+                    PRI_SHIFT => {
+                        next_phase += 1;
+                        let target = phases[id as usize].1;
+                        changed |= reconcile_fleet(&mut drivers, &mut retiring, target, t);
+                        events_processed += 1;
                     }
-                    for d in drivers.iter_mut() {
-                        if need == 0 {
-                            break;
-                        }
-                        if let DriverState::Offline { pos } = *d {
-                            *d = DriverState::Available { pos, since_ms: now };
-                            need -= 1;
-                        }
-                    }
-                } else if online > target {
-                    let mut excess = online - target;
-                    for d in drivers.iter_mut().rev() {
-                        if excess == 0 {
-                            break;
-                        }
-                        if let DriverState::Available { pos, .. } = *d {
-                            *d = DriverState::Offline { pos };
-                            excess -= 1;
-                        }
-                    }
-                    for (d, r) in drivers.iter().zip(retiring.iter_mut()).rev() {
-                        if excess == 0 {
-                            break;
-                        }
-                        if matches!(d, DriverState::Busy { .. }) && !*r {
-                            *r = true;
-                            excess -= 1;
+                    _ => {
+                        events.pop();
+                        let ri = id as usize;
+                        // Deadlines of assigned riders are stale no-ops.
+                        if !rider_assigned[ri] {
+                            waiting.retain(|&w| w != id);
+                            reneges.push(RenegeRecord {
+                                rider: RiderId(id),
+                                request_ms: riders[ri].trip.request_ms,
+                                renege_ms: t,
+                            });
+                            events_processed += 1;
+                            changed = true;
                         }
                     }
                 }
             }
-            // 2. Admit new riders.
-            while next_trip < riders.len() && riders[next_trip].trip.request_ms <= now {
-                waiting.push(next_trip as u32);
-                next_trip += 1;
-            }
-            // 3. Renege riders whose deadline passed.
-            waiting.retain(|&ri| {
-                if riders[ri as usize].deadline_ms < now {
-                    reneged += 1;
-                    false
-                } else {
-                    true
-                }
-            });
 
-            // 4. Build the batch view.
-            let waiting_view: Vec<WaitingRider> = waiting
-                .iter()
-                .map(|&ri| {
+            // 3. Run the batch — unless nothing changed since the last
+            // one and no refill is pending, in which case this slot is
+            // skipped without touching the policy.
+            if changed || last_assigned || (every_batch && !waiting.is_empty()) {
+                waiting_view.clear();
+                waiting_view.extend(waiting.iter().map(|&ri| {
                     let r = &riders[ri as usize];
                     WaitingRider {
                         id: RiderId(ri),
@@ -303,134 +450,195 @@ impl<'a> Simulator<'a> {
                         request_ms: r.trip.request_ms,
                         deadline_ms: r.deadline_ms,
                     }
-                })
-                .collect();
-            let mut avail_view: Vec<AvailableDriver> = Vec::new();
-            let mut busy_view: Vec<BusyDriver> = Vec::new();
-            for (i, d) in drivers.iter().enumerate() {
-                match *d {
-                    DriverState::Available { pos, since_ms } => avail_view.push(AvailableDriver {
-                        id: DriverId(i as u32),
-                        pos,
-                        available_since_ms: since_ms,
-                    }),
-                    // Retiring drivers will not rejoin, so they are not
-                    // upcoming supply and stay out of the busy view.
-                    DriverState::Busy { until_ms, dropoff } if !retiring[i] => {
-                        busy_view.push(BusyDriver {
-                            id: DriverId(i as u32),
-                            dropoff_ms: until_ms,
-                            dropoff_pos: dropoff,
-                        })
+                }));
+                avail_view.clear();
+                busy_view.clear();
+                for (i, d) in drivers.iter().enumerate() {
+                    match *d {
+                        DriverState::Available { pos, since_ms } => {
+                            avail_view.push(AvailableDriver {
+                                id: DriverId(i as u32),
+                                pos,
+                                available_since_ms: since_ms,
+                            })
+                        }
+                        // Retiring drivers will not rejoin, so they are
+                        // not upcoming supply and stay out of the busy
+                        // view.
+                        DriverState::Busy { until_ms, dropoff } if !retiring[i] => {
+                            busy_view.push(BusyDriver {
+                                id: DriverId(i as u32),
+                                dropoff_ms: until_ms,
+                                dropoff_pos: dropoff,
+                            })
+                        }
+                        DriverState::Busy { .. } | DriverState::Offline { .. } => {}
                     }
-                    DriverState::Busy { .. } | DriverState::Offline { .. } => {}
+                }
+                let ctx = BatchContext {
+                    now_ms: tick,
+                    riders: &waiting_view,
+                    drivers: &avail_view,
+                    busy: &busy_view,
+                    travel: self.travel,
+                    grid: self.grid,
+                };
+
+                let t0 = std::time::Instant::now();
+                let batch_assignments = policy.assign(&ctx);
+                batch_time.push(t0.elapsed().as_secs_f64());
+                ticks_executed += 1;
+
+                // Validate and apply.
+                for a in &batch_assignments {
+                    let ri = a.rider.0;
+                    assert!(
+                        (ri as usize) < riders.len()
+                            && waiting.contains(&ri)
+                            && !rider_assigned[ri as usize],
+                        "policy assigned unknown or unavailable rider {}",
+                        a.rider
+                    );
+                    let di = a.driver.0 as usize;
+                    assert!(
+                        di < drivers.len(),
+                        "policy assigned unknown driver {}",
+                        a.driver
+                    );
+                    let DriverState::Available { pos, since_ms } = drivers[di] else {
+                        match drivers[di] {
+                            DriverState::Busy { .. } => {
+                                panic!("policy assigned busy driver {}", a.driver)
+                            }
+                            _ => panic!("policy assigned offline driver {}", a.driver),
+                        }
+                    };
+                    assert!(
+                        !driver_taken[di],
+                        "policy assigned driver {} twice in one batch",
+                        a.driver
+                    );
+                    driver_taken[di] = true;
+                    let rider = &riders[ri as usize];
+                    let pickup_ms = if teleport {
+                        tick
+                    } else {
+                        tick + self.travel.travel_time_ms(pos, rider.trip.pickup)
+                    };
+                    assert!(
+                        pickup_ms <= rider.deadline_ms,
+                        "policy violated the pickup deadline: pickup at {pickup_ms}, deadline {}",
+                        rider.deadline_ms
+                    );
+                    let ride_ms = self
+                        .travel
+                        .travel_time_ms(rider.trip.pickup, rider.trip.dropoff);
+                    let dropoff_ms = pickup_ms + ride_ms;
+                    let revenue = ride_ms as f64 / 1000.0; // α = 1, cost in seconds
+                    drivers[di] = DriverState::Busy {
+                        until_ms: dropoff_ms,
+                        dropoff: rider.trip.dropoff,
+                    };
+                    events.push(Reverse((dropoff_ms, PRI_DROPOFF, a.driver.0)));
+                    rider_assigned[ri as usize] = true;
+                    served += 1;
+                    total_revenue += revenue;
+                    assignments.push(AssignmentRecord {
+                        rider: a.rider,
+                        driver: a.driver,
+                        batch_ms: tick,
+                        pickup_ms,
+                        dropoff_ms,
+                        revenue,
+                        driver_idle_ms: tick - since_ms,
+                        dropoff_region: self.grid.region_of(rider.trip.dropoff),
+                        estimated_idle_s: a.estimated_idle_s,
+                    });
+                }
+                // Reset the double-booking scratch for the next batch.
+                for a in &batch_assignments {
+                    driver_taken[a.driver.0 as usize] = false;
+                }
+                waiting.retain(|&ri| !rider_assigned[ri as usize]);
+                last_assigned = !batch_assignments.is_empty();
+                changed = false;
+            }
+
+            // 4. Advance: step Δ while the policy must keep running,
+            // otherwise jump straight to the first batch slot the next
+            // pending event can affect.
+            if last_assigned || (every_batch && !waiting.is_empty()) {
+                tick += delta;
+                continue;
+            }
+            // Deadline events of already-assigned riders are stale —
+            // drop them so they cannot schedule pointless wake-ups.
+            while let Some(&Reverse((_, pri, id))) = events.peek() {
+                if pri == PRI_DEADLINE && rider_assigned[id as usize] {
+                    events.pop();
+                } else {
+                    break;
                 }
             }
-            let ctx = BatchContext {
-                now_ms: now,
-                riders: &waiting_view,
-                drivers: &avail_view,
-                busy: &busy_view,
-                travel: self.travel,
-                grid: self.grid,
+            // First slot that observes an event at `t`: the next slot
+            // ≥ t for arrivals/dropoffs/shift changes, but strictly > t
+            // for deadlines (a deadline at a batch timestamp has not
+            // passed there). The queue head bounds every later event's
+            // wake-up slot, so peeking the head suffices.
+            let at_or_after = |t: Millis| t.div_ceil(delta) * delta;
+            let strictly_after = |t: Millis| (t / delta) * delta + delta;
+            let mut next_tick: Option<Millis> = None;
+            let mut consider = |t: Millis| {
+                next_tick = Some(next_tick.map_or(t, |c: Millis| c.min(t)));
             };
-
-            // 5. Run the policy, timed.
-            let t0 = std::time::Instant::now();
-            let batch_assignments = policy.assign(&ctx);
-            batch_time.push(t0.elapsed().as_secs_f64());
-            batches += 1;
-
-            // 6. Validate and apply.
-            let mut driver_taken: std::collections::HashSet<u32> = std::collections::HashSet::new();
-            for a in &batch_assignments {
-                let ri = a.rider.0;
-                assert!(
-                    (ri as usize) < riders.len()
-                        && waiting.contains(&ri)
-                        && !rider_assigned[ri as usize],
-                    "policy assigned unknown or unavailable rider {}",
-                    a.rider
-                );
-                let di = a.driver.0 as usize;
-                assert!(
-                    di < drivers.len(),
-                    "policy assigned unknown driver {}",
-                    a.driver
-                );
-                let DriverState::Available { pos, since_ms } = drivers[di] else {
-                    match drivers[di] {
-                        DriverState::Busy { .. } => {
-                            panic!("policy assigned busy driver {}", a.driver)
-                        }
-                        _ => panic!("policy assigned offline driver {}", a.driver),
-                    }
-                };
-                assert!(
-                    driver_taken.insert(a.driver.0),
-                    "policy assigned driver {} twice in one batch",
-                    a.driver
-                );
-                let rider = &riders[ri as usize];
-                let pickup_ms = if teleport {
-                    now
+            if next_trip < riders.len() {
+                consider(at_or_after(riders[next_trip].trip.request_ms));
+            }
+            if let Some(&(from, _)) = phases.get(next_phase) {
+                consider(at_or_after(from));
+            }
+            if let Some(&Reverse((t, pri, _))) = events.peek() {
+                consider(if pri == PRI_DEADLINE {
+                    strictly_after(t)
                 } else {
-                    now + self.travel.travel_time_ms(pos, rider.trip.pickup)
-                };
-                assert!(
-                    pickup_ms <= rider.deadline_ms,
-                    "policy violated the pickup deadline: pickup at {pickup_ms}, deadline {}",
-                    rider.deadline_ms
-                );
-                let ride_ms = self
-                    .travel
-                    .travel_time_ms(rider.trip.pickup, rider.trip.dropoff);
-                let dropoff_ms = pickup_ms + ride_ms;
-                let revenue = ride_ms as f64 / 1000.0; // α = 1, cost in seconds
-                drivers[di] = DriverState::Busy {
-                    until_ms: dropoff_ms,
-                    dropoff: rider.trip.dropoff,
-                };
-                dropoff_heap.push(Reverse((dropoff_ms, a.driver.0)));
-                rider_assigned[ri as usize] = true;
-                served += 1;
-                total_revenue += revenue;
-                assignments.push(AssignmentRecord {
-                    rider: a.rider,
-                    driver: a.driver,
-                    batch_ms: now,
-                    pickup_ms,
-                    dropoff_ms,
-                    revenue,
-                    driver_idle_ms: now - since_ms,
-                    dropoff_region: self.grid.region_of(rider.trip.dropoff),
-                    estimated_idle_s: a.estimated_idle_s,
+                    at_or_after(t)
                 });
             }
-            waiting.retain(|&ri| !rider_assigned[ri as usize]);
-
-            now += self.config.batch_interval_ms;
-        }
-
-        // Final accounting: everything admitted but unserved either
-        // reneged (deadline before the horizon) or is still waiting;
-        // never-admitted late arrivals are classified the same way.
-        for &ri in &waiting {
-            if riders[ri as usize].deadline_ms < self.config.horizon_ms {
-                reneged += 1;
+            match next_tick {
+                Some(t) => {
+                    debug_assert!(t > tick, "next slot must advance time");
+                    tick = t;
+                }
+                // No pending event anywhere: nothing can ever change
+                // again, so every remaining slot is an empty batch.
+                None => break,
             }
         }
-        let mut still_waiting = waiting
-            .iter()
-            .filter(|&&ri| riders[ri as usize].deadline_ms >= self.config.horizon_ms)
-            .count();
-        for r in &riders[next_trip..] {
-            if r.deadline_ms < self.config.horizon_ms {
-                reneged += 1;
-            } else {
-                still_waiting += 1;
+
+        // Final accounting at true event times: admit any stragglers
+        // (arrivals after the last processed slot) so their deadlines
+        // are on the queue, then flush it. A deadline before the horizon
+        // is a renege at exactly that time; later deadlines are still
+        // waiting when the day ends.
+        while next_trip < riders.len() {
+            events.push(Reverse((
+                riders[next_trip].deadline_ms,
+                PRI_DEADLINE,
+                next_trip as u32,
+            )));
+            next_trip += 1;
+        }
+        while let Some(Reverse((t, pri, id))) = events.pop() {
+            if pri == PRI_DEADLINE && !rider_assigned[id as usize] && t < horizon {
+                reneges.push(RenegeRecord {
+                    rider: RiderId(id),
+                    request_ms: riders[id as usize].trip.request_ms,
+                    renege_ms: t,
+                });
             }
         }
+        let reneged = reneges.len();
+        let still_waiting = riders.len() - served - reneged;
         debug_assert_eq!(served + reneged + still_waiting, riders.len());
 
         SimResult {
@@ -441,12 +649,14 @@ impl<'a> Simulator<'a> {
             total_riders: riders.len(),
             still_waiting,
             batch_time,
-            batches,
+            batches: horizon.div_ceil(delta) as usize,
+            ticks_executed,
+            events_processed,
             assignments,
+            reneges,
         }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -986,5 +1196,137 @@ mod tests {
         let mut trips = mk_trips(3);
         trips.swap(0, 2);
         sim.run(&trips, &[], &mut Idle);
+    }
+
+    // ------------------------------------------------------------------
+    // Event-core-specific tests.
+
+    #[test]
+    fn quiescent_slots_are_skipped() {
+        // 120 trips spread over 2400 s in a 3600 s horizon at Δ = 3 s:
+        // most slots see no arrival/dropoff/deadline and must be skipped.
+        let res = run(&mut FirstFit, 120, 10);
+        assert_eq!(res.batches, 1200);
+        assert!(
+            res.ticks_executed < res.batches,
+            "no slot was skipped ({} executed of {})",
+            res.ticks_executed,
+            res.batches
+        );
+        assert_eq!(res.ticks_skipped(), res.batches - res.ticks_executed);
+        assert!(res.skip_rate() > 0.0 && res.skip_rate() < 1.0);
+        // Every admission is an event, so at least one per rider.
+        assert!(res.events_processed >= res.total_riders);
+    }
+
+    #[test]
+    fn idle_slots_cost_nothing_for_an_empty_day() {
+        let res = run(&mut Idle, 0, 5);
+        assert_eq!(res.ticks_executed, 0);
+        assert_eq!(res.events_processed, 0);
+        assert!((res.skip_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn renege_is_charged_at_the_exact_deadline_not_the_next_tick() {
+        // One rider, no drivers; deadline = 0 + 90 s + U[1 s, 2 s] falls
+        // strictly inside the second Δ = 60 s batch interval.
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let config = SimConfig {
+            batch_interval_ms: 60_000,
+            horizon_ms: 240_000,
+            base_wait_ms: 90_000,
+            wait_noise_ms: (1_000, 2_000),
+            ..SimConfig::default()
+        };
+        let trips = vec![TripRecord {
+            id: 0,
+            request_ms: 0,
+            pickup: Point::new(-73.98, 40.75),
+            dropoff: Point::new(-73.95, 40.78),
+        }];
+        let sim = Simulator::new(config.clone(), &travel, &grid);
+        let res = sim.run(&trips, &[], &mut Idle);
+        assert_eq!(res.reneged, 1);
+        let exact = res.reneges[0].renege_ms;
+        assert!(
+            (91_000..=92_000).contains(&exact),
+            "expected the exact deadline, got {exact}"
+        );
+        // The legacy loop only notices at the next batch boundary.
+        let legacy =
+            sim.run_scheduled_reference(&trips, &[], &DriverSchedule::constant(0), &mut Idle);
+        assert_eq!(legacy.reneged, 1);
+        assert_eq!(legacy.reneges[0].renege_ms, 120_000);
+        // Exact renege times are Δ-invariant: a finer batch interval
+        // must report the identical timestamp.
+        let fine = Simulator::new(
+            SimConfig {
+                batch_interval_ms: 1_000,
+                ..config
+            },
+            &travel,
+            &grid,
+        )
+        .run(&trips, &[], &mut Idle);
+        assert_eq!(fine.reneges[0].renege_ms, exact);
+        assert_eq!(res.reneges[0].rider, RiderId(0));
+        assert_eq!(res.reneges[0].request_ms, 0);
+        assert!((res.mean_renege_wait_s() - exact as f64 / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_core_matches_the_reference_loop() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let config = SimConfig {
+            horizon_ms: 3_600_000,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::new(config, &travel, &grid);
+        let trips = mk_trips(140);
+        let drivers: Vec<Point> = (0..7)
+            .map(|i| Point::new(-73.97 - (i % 4) as f64 * 0.003, 40.75))
+            .collect();
+        let schedule = DriverSchedule::new(vec![(0, 7), (1_200_000, 3), (2_400_000, 6)]);
+        let fast = sim.run_scheduled(&trips, &drivers, &schedule, &mut FirstFit);
+        let slow = sim.run_scheduled_reference(&trips, &drivers, &schedule, &mut FirstFit);
+        assert_eq!(fast.served, slow.served);
+        assert_eq!(fast.reneged, slow.reneged);
+        assert_eq!(fast.still_waiting, slow.still_waiting);
+        assert_eq!(fast.total_revenue.to_bits(), slow.total_revenue.to_bits());
+        assert_eq!(fast.batches, slow.batches);
+        assert_eq!(fast.assignments.len(), slow.assignments.len());
+        for (a, b) in fast.assignments.iter().zip(&slow.assignments) {
+            assert_eq!(
+                (
+                    a.rider,
+                    a.driver,
+                    a.batch_ms,
+                    a.pickup_ms,
+                    a.dropoff_ms,
+                    a.driver_idle_ms
+                ),
+                (
+                    b.rider,
+                    b.driver,
+                    b.batch_ms,
+                    b.pickup_ms,
+                    b.dropoff_ms,
+                    b.driver_idle_ms
+                )
+            );
+        }
+        // Same riders renege; only the charged timestamps may differ,
+        // and never by more than Δ (the legacy rounds up to the tick).
+        assert_eq!(fast.reneges.len(), slow.reneges.len());
+        let key = |r: &[RenegeRecord]| {
+            let mut ids: Vec<u32> = r.iter().map(|x| x.rider.0).collect();
+            ids.sort_unstable();
+            ids
+        };
+        assert_eq!(key(&fast.reneges), key(&slow.reneges));
+        assert!(fast.ticks_executed < slow.ticks_executed);
     }
 }

@@ -7,21 +7,30 @@
 //! platform runs a batch assignment every Δ seconds through a pluggable
 //! [`DispatchPolicy`].
 //!
+//! The engine is a true discrete-event core: arrivals, reneges, dropoffs
+//! and shift changes live on one time-ordered event queue and are
+//! applied at their exact timestamps, while the policy still runs at the
+//! paper's batch boundaries — batch slots where nothing changed are
+//! skipped entirely (see `engine`). The literal per-Δ loop survives as
+//! [`Simulator::run_scheduled_reference`] for differential testing.
+//!
 //! The simulator is deterministic given its seed, enforces the paper's
 //! validity constraint (Definition 3: the driver must reach the pickup
 //! before the deadline) on every assignment a policy returns, and records
 //! everything the evaluation needs: revenue, served/reneged counts,
-//! per-assignment idle intervals (for Table 3) and per-batch wall-clock
-//! times (for Figures 7b–10b).
+//! per-assignment idle intervals (for Table 3), exact-time renege
+//! records, per-batch wall-clock times (for Figures 7b–10b) and the
+//! engine's skip/event counters.
 
 pub mod engine;
 pub mod metrics;
 pub mod policy;
+pub mod reference;
 pub mod schedule;
 pub mod types;
 
 pub use engine::{SimConfig, Simulator};
-pub use metrics::{AssignmentRecord, SimResult};
+pub use metrics::{AssignmentRecord, RenegeRecord, SimResult};
 pub use policy::{
     Assignment, AvailableDriver, BatchContext, BusyDriver, DispatchPolicy, WaitingRider,
 };

@@ -30,6 +30,33 @@ pub struct AssignmentRecord {
     pub estimated_idle_s: Option<f64>,
 }
 
+/// One reneged rider, charged at the exact deadline.
+///
+/// The batch loop of the paper's Algorithm 1 only *observes* reneges at
+/// the next batch boundary, quantizing their timestamps by up to Δ; the
+/// event-driven engine records the true `deadline_ms` instead (the
+/// quantity Alwan–Ata–Zhou's abandonment dynamics depend on). The legacy
+/// reference loop still reports the quantized batch timestamp here —
+/// that difference is pinned by a regression test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenegeRecord {
+    /// The rider who gave up.
+    pub rider: RiderId,
+    /// When the rider posted the order.
+    pub request_ms: Millis,
+    /// When the rider left the platform (the exact pickup deadline under
+    /// the event engine; the first batch timestamp past it under the
+    /// legacy reference loop).
+    pub renege_ms: Millis,
+}
+
+impl RenegeRecord {
+    /// How long the rider waited before giving up, in seconds.
+    pub fn wait_s(&self) -> f64 {
+        (self.renege_ms - self.request_ms) as f64 / 1000.0
+    }
+}
+
 /// Aggregate result of one simulated day.
 #[derive(Debug, Clone)]
 pub struct SimResult {
@@ -45,12 +72,24 @@ pub struct SimResult {
     pub total_riders: usize,
     /// Riders still waiting when the horizon ended.
     pub still_waiting: usize,
-    /// Wall-clock seconds spent inside `DispatchPolicy::assign`, per batch.
+    /// Wall-clock seconds spent inside `DispatchPolicy::assign`, per
+    /// executed batch.
     pub batch_time: SummaryStats,
-    /// Number of batches executed.
+    /// Number of batch slots in the horizon, `⌈horizon / Δ⌉` — the
+    /// batches the paper's literal loop would run.
     pub batches: usize,
+    /// Batch slots at which the policy actually ran; the event-driven
+    /// engine skips slots where nothing changed since the previous
+    /// invocation, so this is ≤ [`SimResult::batches`].
+    pub ticks_executed: usize,
+    /// State-transition events the engine applied at their true times
+    /// (admissions, reneges, dropoffs, shift changes). Zero under the
+    /// legacy reference loop, which scans instead of queueing events.
+    pub events_processed: usize,
     /// Complete assignment log (chronological).
     pub assignments: Vec<AssignmentRecord>,
+    /// Complete renege log (chronological).
+    pub reneges: Vec<RenegeRecord>,
 }
 
 impl SimResult {
@@ -63,9 +102,48 @@ impl SimResult {
         }
     }
 
-    /// Mean wall-clock time per batch, in seconds.
+    /// Mean wall-clock time per batch slot, in seconds: total policy
+    /// time over all `⌈horizon/Δ⌉` slots, charging skipped slots their
+    /// true cost of zero. This keeps the number comparable with the
+    /// legacy loop (which executed every slot, measuring ≈0 on the empty
+    /// ones) and across policies with different skip rates — the
+    /// denominator is the batch grid, not the executed subset.
     pub fn mean_batch_time_s(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batch_time.mean() * self.batch_time.count() as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean wall-clock time per *executed* batch, in seconds — what one
+    /// dispatch round costs when the policy actually runs.
+    pub fn mean_executed_batch_time_s(&self) -> f64 {
         self.batch_time.mean()
+    }
+
+    /// Batch slots the engine skipped because nothing changed.
+    pub fn ticks_skipped(&self) -> usize {
+        self.batches - self.ticks_executed
+    }
+
+    /// Fraction of batch slots skipped (0 under the legacy loop).
+    pub fn skip_rate(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.ticks_skipped() as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean time reneged riders waited before giving up, in seconds —
+    /// exact under the event engine, quantized up by ≤ Δ under the
+    /// legacy reference loop.
+    pub fn mean_renege_wait_s(&self) -> f64 {
+        if self.reneges.is_empty() {
+            return 0.0;
+        }
+        self.reneges.iter().map(RenegeRecord::wait_s).sum::<f64>() / self.reneges.len() as f64
     }
 
     /// Joins each assignment's idle-time *estimate* with the *realized*
@@ -143,6 +221,8 @@ mod tests {
             still_waiting: 0,
             batch_time: SummaryStats::new(),
             batches: 2,
+            ticks_executed: 2,
+            events_processed: 0,
             assignments: vec![
                 // Driver 0: drops off at 100_000, estimated idle 30 s,
                 // next assignment at batch 140_000 → realized 40 s.
@@ -151,6 +231,7 @@ mod tests {
                 // Driver 1: one assignment only → no pair.
                 rec(1, 15_000, 15_000, 90_000, Some(5.0)),
             ],
+            reneges: vec![],
         };
         let pairs = result.idle_estimate_pairs();
         assert_eq!(pairs, vec![(30.0, 40.0)]);
@@ -167,12 +248,41 @@ mod tests {
             still_waiting: 0,
             batch_time: SummaryStats::new(),
             batches: 2,
+            ticks_executed: 2,
+            events_processed: 0,
             assignments: vec![
                 rec(0, 10_000, 10_000, 100_000, None),
                 rec(0, 140_000, 40_000, 200_000, None),
             ],
+            reneges: vec![],
         };
         assert!(result.idle_estimate_pairs().is_empty());
+    }
+
+    #[test]
+    fn batch_time_mean_is_normalized_over_all_slots() {
+        let mut bt = SummaryStats::new();
+        bt.push(0.002);
+        bt.push(0.004);
+        let result = SimResult {
+            policy: "x".into(),
+            total_revenue: 0.0,
+            served: 0,
+            reneged: 0,
+            total_riders: 0,
+            still_waiting: 0,
+            batch_time: bt,
+            batches: 6,
+            ticks_executed: 2,
+            events_processed: 0,
+            assignments: vec![],
+            reneges: vec![],
+        };
+        // 6 ms of policy time spread over 6 slots (4 skipped at zero
+        // cost) → 1 ms per slot, 3 ms per executed batch.
+        assert!((result.mean_batch_time_s() - 0.001).abs() < 1e-12);
+        assert!((result.mean_executed_batch_time_s() - 0.003).abs() < 1e-12);
+        assert_eq!(result.ticks_skipped(), 4);
     }
 
     #[test]
@@ -186,7 +296,10 @@ mod tests {
             still_waiting: 0,
             batch_time: SummaryStats::new(),
             batches: 0,
+            ticks_executed: 0,
+            events_processed: 0,
             assignments: vec![],
+            reneges: vec![],
         };
         assert_eq!(result.service_rate(), 0.75);
     }

@@ -104,6 +104,31 @@ pub trait DispatchPolicy {
     fn teleports_pickup(&self) -> bool {
         false
     }
+
+    /// Whether the engine must invoke [`DispatchPolicy::assign`] at
+    /// *every* batch tick while riders are waiting, even when no arrival,
+    /// renege, dropoff or shift change happened since the previous tick.
+    ///
+    /// The event-driven engine skips quiescent ticks: it only calls the
+    /// policy when the batch state changed since the last invocation (or
+    /// when the last invocation assigned someone, since candidate budgets
+    /// may then admit previously truncated pairs). That is exact for
+    /// policies that are pure functions of the [`BatchContext`] and
+    /// assign whenever a valid pair exists — every policy in this
+    /// workspace except RAND. Policies whose observable behaviour depends
+    /// on *how many times* `assign` was called (e.g. a seeded RNG drawing
+    /// per invocation) — or on simulation time crossing a threshold
+    /// *between* events (e.g. "hold a pair back until the rider waited
+    /// 30 s") — must return `true` here so their call streams stay
+    /// aligned with the paper's literal per-Δ loop. Ticks with an empty
+    /// waiting set are still skippable then: no valid policy can assign
+    /// anyone, and a well-behaved implementation draws nothing.
+    ///
+    /// The answer must be constant over the policy's lifetime; the engine
+    /// samples it once per run.
+    fn invoke_every_batch(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

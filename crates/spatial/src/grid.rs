@@ -32,7 +32,7 @@ pub const NYC_EXTENT: (Point, Point) = (Point::new(-74.03, 40.58), Point::new(-7
 
 /// An even rectangular partition of a lon/lat bounding box into
 /// `cols × rows` regions.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Grid {
     min: Point,
     max: Point,

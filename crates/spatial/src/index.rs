@@ -72,6 +72,18 @@ impl<T: Copy> RegionIndex<T> {
         self.len = 0;
     }
 
+    /// Re-points the index at `grid` and clears it, reusing the bucket
+    /// allocations whenever the region count is unchanged. Callers that
+    /// rebuild an index every batch over the same grid pay only the
+    /// clear, not `num_regions` fresh `Vec`s.
+    pub fn retarget(&mut self, grid: &Grid) {
+        if self.grid != *grid {
+            self.buckets.resize(grid.num_regions(), Vec::new());
+            self.grid = grid.clone();
+        }
+        self.clear();
+    }
+
     /// Items in one region.
     pub fn in_region(&self, r: RegionId) -> &[(T, Point)] {
         &self.buckets[r.idx()]
@@ -109,8 +121,23 @@ impl<T: Copy> RegionIndex<T> {
     /// sorted; callers order by their own criterion (travel time, cost…).
     pub fn within_radius(&self, p: Point, radius_m: f64, cap: usize) -> Vec<(T, Point)> {
         let mut out = Vec::new();
+        self.within_radius_into(p, radius_m, cap, &mut out);
+        out
+    }
+
+    /// Like [`RegionIndex::within_radius`], appending into a caller-held
+    /// buffer so per-query allocations amortize away. `out` is cleared
+    /// first.
+    pub fn within_radius_into(
+        &self,
+        p: Point,
+        radius_m: f64,
+        cap: usize,
+        out: &mut Vec<(T, Point)>,
+    ) {
+        out.clear();
         if cap == 0 {
-            return out;
+            return;
         }
         let center = self.grid.region_of(p);
         let (cw, ch) = self.grid.cell_size_m();
@@ -129,7 +156,6 @@ impl<T: Copy> RegionIndex<T> {
             }
             true
         });
-        out
     }
 }
 
@@ -192,6 +218,40 @@ mod tests {
             .map(|(i, _)| i as u32)
             .collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn retarget_clears_and_reuses_buckets() {
+        let g = grid();
+        let mut ix = RegionIndex::new(g.clone());
+        let p = Point::new(-73.9, 40.75);
+        ix.insert(1u32, p);
+        assert_eq!(ix.len(), 1);
+        // Same grid: contents cleared, index usable again.
+        ix.retarget(&g);
+        assert!(ix.is_empty());
+        ix.insert(2u32, p);
+        assert_eq!(ix.in_region(ix.grid().region_of(p)), &[(2, p)]);
+        // Different grid: bucket count follows the new region count.
+        let g2 = Grid::new(Point::new(-74.03, 40.58), Point::new(-73.77, 40.92), 4, 4);
+        ix.retarget(&g2);
+        assert!(ix.is_empty());
+        assert_eq!(ix.grid(), &g2);
+        ix.insert(3u32, p);
+        assert_eq!(ix.len(), 1);
+    }
+
+    #[test]
+    fn within_radius_into_reuses_buffer_and_matches_alloc_variant() {
+        let mut ix = RegionIndex::new(grid());
+        let p = Point::new(-73.9, 40.75);
+        for i in 0..20u32 {
+            ix.insert(i, p);
+        }
+        let mut buf = vec![(99u32, p)]; // stale content must be cleared
+        ix.within_radius_into(p, 100.0, usize::MAX, &mut buf);
+        assert_eq!(buf.len(), 20);
+        assert_eq!(ix.within_radius(p, 100.0, usize::MAX), buf);
     }
 
     #[test]

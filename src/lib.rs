@@ -38,7 +38,7 @@
 //! |---|---|---|
 //! | [`core`] | `mrvd-core` | IRG / LS / SHORT, LTG / NEAR / RAND, POLAR, UPPER |
 //! | [`queueing`] | `mrvd-queueing` | double-sided region queues, `ET(λ,μ)` |
-//! | [`sim`] | `mrvd-sim` | the batch discrete-event simulator |
+//! | [`sim`] | `mrvd-sim` | event-driven simulation core (+ legacy reference loop) |
 //! | [`prediction`] | `mrvd-prediction` | HA / LR / GBRT / DeepST / DeepST-GC |
 //! | [`demand`] | `mrvd-demand` | NYC-like workload generation |
 //! | [`scenario`] | `mrvd-scenario` | declarative workload scenarios + sweeps |
@@ -73,8 +73,8 @@ pub mod prelude {
     pub use mrvd_queueing::{expected_idle_time, QueueParams, Reneging, SteadyState};
     pub use mrvd_scenario::{ScenarioSpec, SlowdownModel, SweepPolicy};
     pub use mrvd_sim::{
-        Assignment, BatchContext, DispatchPolicy, DriverId, DriverSchedule, RiderId, SimConfig,
-        SimResult, Simulator,
+        Assignment, BatchContext, DispatchPolicy, DriverId, DriverSchedule, RenegeRecord, RiderId,
+        SimConfig, SimResult, Simulator,
     };
     pub use mrvd_spatial::{
         ConstantSpeedModel, Grid, Point, RegionId, RoadNetwork, RoadNetworkModel, TravelModel,
