@@ -17,6 +17,7 @@ fn ctx<'a>(f: &'a BatchFixture, travel: &'a ConstantSpeedModel) -> BatchContext<
         busy: &f.busy,
         travel,
         grid: &f.grid,
+        avail_index: None,
     }
 }
 

@@ -222,6 +222,7 @@ mod tests {
             busy: &[],
             travel: &travel,
             grid: &grid,
+            avail_index: None,
         };
         let out = Ltg::default().assign(&ctx);
         assert_eq!(out.len(), 1);
@@ -238,6 +239,7 @@ mod tests {
             busy: &[],
             travel: &travel,
             grid: &grid,
+            avail_index: None,
         };
         let out = Near::default().assign(&ctx);
         assert_eq!(out.len(), 1);
@@ -254,6 +256,7 @@ mod tests {
             busy: &[],
             travel: &travel,
             grid: &grid,
+            avail_index: None,
         };
         let a = Rand::new(7).assign(&ctx);
         let b = Rand::new(7).assign(&ctx);
@@ -289,6 +292,7 @@ mod tests {
             busy: &[],
             travel: &travel,
             grid: &grid,
+            avail_index: None,
         };
         for out in [
             Ltg::default().assign(&ctx),

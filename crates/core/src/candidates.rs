@@ -6,14 +6,24 @@
 //! allows (the radius-bounded search described in DESIGN.md); otherwise
 //! it scans all drivers (small instances, road networks).
 //!
-//! Policies call this every batch; a [`CandidateScratch`] owned by the
-//! caller keeps the spatial index's bucket allocations (and the ring
-//! query's hit buffer) alive across batches, so steady state pays only
-//! driver re-insertion — no `Grid` clone, no fresh `Vec` per region per
-//! batch. This is the first step toward the fully incremental candidate
-//! index on the roadmap (drivers move only at dropoffs).
+//! Policies call this every batch. When the engine supplies its live,
+//! incrementally maintained availability index
+//! ([`BatchContext::avail_index`] — kept in sync at true event times:
+//! assignment, dropoff, shift on/off), candidate generation is a thin
+//! view over that index and no per-batch rebuild happens at all. Without
+//! one (hand-built contexts, the legacy reference loop), a
+//! [`CandidateScratch`] owned by the caller keeps a private index whose
+//! bucket allocations (and the ring query's hit buffers) survive across
+//! batches, so steady state pays only driver re-insertion — no `Grid`
+//! clone, no fresh `Vec` per region per batch.
+//!
+//! Both paths produce *identical* [`CandidateSet`]s: candidates are
+//! sorted by `(pickup travel time, driver slot)` — a total order — so
+//! bucket insertion order (which differs between a live index and a
+//! rebuild) can never leak into the output. The engine-equivalence
+//! batteries pin this end to end.
 
-use mrvd_sim::BatchContext;
+use mrvd_sim::{BatchContext, DriverId};
 use mrvd_spatial::{Point, RegionIndex};
 
 /// Valid pairs per rider: `pairs[i]` lists `(driver_index, pickup_travel_ms)`
@@ -46,13 +56,21 @@ impl CandidateSet {
 }
 
 /// Reusable state for [`valid_candidates_with`], owned by the policy and
-/// carried across batches: the per-region driver index (buckets are
-/// cleared, never reallocated, while the grid stays the same) and the
-/// ring query's hit buffer.
+/// carried across batches: the fallback per-region driver index (buckets
+/// are cleared, never reallocated, while the grid stays the same) used
+/// when no live engine index is available, and the ring queries' hit
+/// buffers. With a live index the scratch is a thin view: only the hit
+/// buffer is touched.
 #[derive(Debug, Default)]
 pub struct CandidateScratch {
     index: Option<RegionIndex<usize>>,
     hits: Vec<(usize, Point)>,
+    id_hits: Vec<(DriverId, Point)>,
+    /// Driver id → batch slot, rebuilt per live-index batch (one `u32`
+    /// write per available driver — far cheaper than re-bucketing them).
+    /// Grow-only; stale entries are never read because the live index
+    /// only yields ids present in the current batch.
+    slot_of_id: Vec<u32>,
 }
 
 impl CandidateScratch {
@@ -73,16 +91,34 @@ pub fn valid_candidates(ctx: &BatchContext<'_>, max_candidates: usize) -> Candid
 
 /// Generates the valid candidate set for one batch, reusing
 /// caller-held scratch across batches.
+///
+/// Prefers the engine's live availability index
+/// ([`BatchContext::avail_index`]) when one is present, built over the
+/// batch's grid and consistent in size with the driver view — zero
+/// per-batch index maintenance for the policy. Otherwise rebuilds the
+/// scratch-held index in place (or, without a travel-speed bound, scans
+/// all drivers). All paths return identical candidate sets.
 pub fn valid_candidates_with(
     ctx: &BatchContext<'_>,
     max_candidates: usize,
     scratch: &mut CandidateScratch,
 ) -> CandidateSet {
-    let mut pairs = Vec::with_capacity(ctx.riders.len());
-    // Spatial index of available drivers (by driver *index*), rebuilt in
-    // place: positions change every batch, allocations do not.
     let speed_bound = ctx.travel.speed_bound_mps();
-    let CandidateScratch { index, hits } = scratch;
+    if let (Some(ix), Some(v)) = (ctx.avail_index, speed_bound) {
+        // The live path requires an index consistent with the batch's
+        // driver view; a mismatched grid or length (possible only for
+        // hand-built contexts — the engine maintains both invariants)
+        // falls through to the rebuild, never to a wrong answer.
+        if ix.grid() == ctx.grid && ix.len() == ctx.drivers.len() {
+            return candidates_from_live_index(ctx, max_candidates, ix, v, scratch);
+        }
+    }
+    let mut pairs = Vec::with_capacity(ctx.riders.len());
+    // Fallback: spatial index of available drivers (by driver *slot*),
+    // rebuilt in place — positions change every batch, allocations do
+    // not. This is the reference rebuild the live path is differentially
+    // tested against.
+    let CandidateScratch { index, hits, .. } = scratch;
     let index = speed_bound.map(|_| {
         let ix = match index {
             Some(ix) => {
@@ -119,6 +155,53 @@ pub fn valid_candidates_with(
                 })
                 .collect(),
         };
+        cands.sort_by_key(|&(i, t)| (t, i));
+        cands.truncate(max_candidates);
+        pairs.push(cands);
+    }
+    CandidateSet { pairs }
+}
+
+/// The live-index path: ring queries against the engine-maintained
+/// availability index, with hits translated from [`DriverId`]s back to
+/// batch slots through a scratch-held direct-lookup table. The `(travel
+/// time, slot)` sort makes the output independent of bucket order, so
+/// this is byte-identical to the rebuild path.
+fn candidates_from_live_index(
+    ctx: &BatchContext<'_>,
+    max_candidates: usize,
+    ix: &RegionIndex<DriverId>,
+    speed_bound_mps: f64,
+    scratch: &mut CandidateScratch,
+) -> CandidateSet {
+    let CandidateScratch {
+        id_hits,
+        slot_of_id,
+        ..
+    } = scratch;
+    // Refresh the id → slot table for this batch's driver view. Stale
+    // entries from earlier batches are harmless: the live index is
+    // consistent with `ctx.drivers`, so only ids written here are read.
+    if let Some(last) = ctx.drivers.last() {
+        if slot_of_id.len() <= last.id.idx() {
+            slot_of_id.resize(last.id.idx() + 1, u32::MAX);
+        }
+        for (slot, d) in ctx.drivers.iter().enumerate() {
+            slot_of_id[d.id.idx()] = slot as u32;
+        }
+    }
+    let mut pairs = Vec::with_capacity(ctx.riders.len());
+    for rider in ctx.riders {
+        let budget_ms = rider.deadline_ms.saturating_sub(ctx.now_ms);
+        let radius_m = speed_bound_mps * budget_ms as f64 / 1000.0;
+        ix.within_radius_into(rider.pickup, radius_m, usize::MAX, id_hits);
+        let mut cands: Vec<(usize, u64)> = id_hits
+            .iter()
+            .filter_map(|&(id, pos)| {
+                let t = ctx.travel.travel_time_ms(pos, rider.pickup);
+                (ctx.now_ms + t <= rider.deadline_ms).then(|| (slot_of_id[id.idx()] as usize, t))
+            })
+            .collect();
         cands.sort_by_key(|&(i, t)| (t, i));
         cands.truncate(max_candidates);
         pairs.push(cands);
@@ -176,6 +259,7 @@ mod tests {
             busy: &[],
             travel: &fast,
             grid: &grid,
+            avail_index: None,
         };
         let ctx_slow = BatchContext {
             now_ms: 0,
@@ -184,6 +268,7 @@ mod tests {
             busy: &[],
             travel: &slow,
             grid: &grid,
+            avail_index: None,
         };
         let a = valid_candidates(&ctx_fast, usize::MAX);
         let b = valid_candidates(&ctx_slow, usize::MAX);
@@ -206,6 +291,7 @@ mod tests {
             busy: &[],
             travel: &travel,
             grid: &grid,
+            avail_index: None,
         };
         let c = valid_candidates(&ctx, usize::MAX);
         assert_eq!(c.pairs[0].len(), 2, "{:?}", c.pairs[0]);
@@ -226,6 +312,7 @@ mod tests {
             busy: &[],
             travel: &travel,
             grid: &grid,
+            avail_index: None,
         };
         let c = valid_candidates(&ctx, 5);
         assert_eq!(c.pairs[0].len(), 5);
@@ -261,11 +348,110 @@ mod tests {
                 busy: &[],
                 travel: &travel,
                 grid: &grid,
+                avail_index: None,
             };
             let reused = valid_candidates_with(&ctx, 8, &mut scratch);
             let fresh = valid_candidates(&ctx, 8);
             assert_eq!(reused.pairs, fresh.pairs, "diverged at now={now_ms}");
         }
+    }
+
+    #[test]
+    fn live_index_path_matches_rebuild_path_bit_for_bit() {
+        use mrvd_spatial::RegionIndex;
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let riders = [
+            rider(Point::new(-73.98, 40.75), 240_000),
+            rider(Point::new(-73.92, 40.80), 90_000),
+            rider(Point::new(-74.00, 40.70), 600_000),
+        ];
+        let drivers = drivers_line(25);
+        // A live index over the same drivers, inserted in scrambled order
+        // so bucket order differs from the rebuild path's slot order —
+        // the (travel time, slot) sort must hide that.
+        let mut live: RegionIndex<DriverId> = RegionIndex::new(grid.clone());
+        let mut order: Vec<usize> = (0..drivers.len()).collect();
+        order.reverse();
+        order.swap(0, 10);
+        for i in order {
+            live.insert(drivers[i].id, drivers[i].pos);
+        }
+        let mk_ctx = |avail_index| BatchContext {
+            now_ms: 3_000,
+            riders: &riders,
+            drivers: &drivers,
+            busy: &[],
+            travel: &travel,
+            grid: &grid,
+            avail_index,
+        };
+        let with_live = valid_candidates(&mk_ctx(Some(&live)), 8);
+        let rebuilt = valid_candidates(&mk_ctx(None), 8);
+        assert_eq!(with_live.pairs, rebuilt.pairs);
+        assert!(with_live.num_pairs() > 0);
+        // Unbudgeted variant too.
+        let a = valid_candidates(&mk_ctx(Some(&live)), usize::MAX);
+        let b = valid_candidates(&mk_ctx(None), usize::MAX);
+        assert_eq!(a.pairs, b.pairs);
+    }
+
+    #[test]
+    fn inconsistent_live_index_falls_back_to_rebuild() {
+        use mrvd_spatial::RegionIndex;
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let riders = [rider(Point::new(-73.98, 40.75), 240_000)];
+        let drivers = drivers_line(10);
+        // An index missing one driver (length mismatch): the live path
+        // must not be trusted — the rebuild still sees all 10.
+        let mut live: RegionIndex<DriverId> = RegionIndex::new(grid.clone());
+        for d in &drivers[..9] {
+            live.insert(d.id, d.pos);
+        }
+        let ctx = BatchContext {
+            now_ms: 0,
+            riders: &riders,
+            drivers: &drivers,
+            busy: &[],
+            travel: &travel,
+            grid: &grid,
+            avail_index: Some(&live),
+        };
+        let got = valid_candidates(&ctx, usize::MAX);
+        assert_eq!(got.pairs[0].len(), 10);
+    }
+
+    #[test]
+    fn live_index_over_a_different_grid_falls_back_to_rebuild() {
+        use mrvd_spatial::RegionIndex;
+        let grid = Grid::nyc_16x16();
+        let other = Grid::new(Point::new(-74.03, 40.58), Point::new(-73.77, 40.92), 4, 4);
+        let travel = ConstantSpeedModel::new(8.0);
+        let riders = [rider(Point::new(-73.98, 40.75), 240_000)];
+        let drivers = drivers_line(10);
+        let mut live: RegionIndex<DriverId> = RegionIndex::new(other);
+        for d in &drivers {
+            live.insert(d.id, d.pos);
+        }
+        let ctx = BatchContext {
+            now_ms: 0,
+            riders: &riders,
+            drivers: &drivers,
+            busy: &[],
+            travel: &travel,
+            grid: &grid,
+            avail_index: Some(&live),
+        };
+        let got = valid_candidates(&ctx, usize::MAX);
+        let expect = valid_candidates(
+            &BatchContext {
+                avail_index: None,
+                ..ctx
+            },
+            usize::MAX,
+        );
+        assert_eq!(got.pairs, expect.pairs);
     }
 
     #[test]
@@ -284,6 +470,7 @@ mod tests {
             busy: &[],
             travel: &travel,
             grid: &grid,
+            avail_index: None,
         };
         let c = valid_candidates(&ctx, usize::MAX);
         let inv = c.by_driver(3);

@@ -274,6 +274,7 @@ mod tests {
             busy: &[],
             travel: &travel,
             grid: &grid,
+            avail_index: None,
         };
         let mut polar = Polar::new(PolarConfig::default(), &oracle(&grid), &grid, 1);
         let out = polar.assign(&ctx);

@@ -329,6 +329,7 @@ mod tests {
             busy: &[],
             travel,
             grid,
+            avail_index: None,
         }
     }
 

@@ -154,6 +154,7 @@ mod tests {
             busy,
             travel,
             grid,
+            avail_index: None,
         }
     }
 

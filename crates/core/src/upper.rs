@@ -89,6 +89,7 @@ mod tests {
             busy: &[],
             travel: &travel,
             grid: &grid,
+            avail_index: None,
         };
         let out = Upper.assign(&ctx);
         assert_eq!(out.len(), 2);

@@ -7,8 +7,9 @@
 //! `--out` do. Results go to the console table and to
 //! `<out>/BENCH_scenarios.json` (policy-quality metrics) plus
 //! `<out>/BENCH_engine.json` (event-engine counters: empty-batch skip
-//! rate, events processed, wall clock per cell) so CI tracks both the
-//! dispatching quality and the engine's performance trajectory.
+//! rate, events processed, incremental-index maintenance stats, wall
+//! clock per cell) so CI tracks both the dispatching quality and the
+//! engine's performance trajectory.
 
 use mrvd_scenario::{builtins, sweep, SweepPolicy};
 use serde_json::{json, Value};
@@ -41,6 +42,9 @@ pub fn scenarios(opts: &Options) {
                 format!("{:.1}%", c.service_rate * 100.0),
                 format!("{:.0}", c.total_revenue),
                 format!("{:.0}%", c.skip_rate * 100.0),
+                c.index_ops.to_string(),
+                c.index_regions_dirtied.to_string(),
+                c.index_rebuilds_avoided.to_string(),
                 format!("{:.2}", c.wall_s),
             ]
         })
@@ -49,7 +53,7 @@ pub fn scenarios(opts: &Options) {
         "Scenario sweep — policies × built-in scenarios",
         &[
             "scenario", "policy", "riders", "served", "reneged", "rate", "revenue", "skip",
-            "wall (s)",
+            "ix ops", "ix dirty", "ix saved", "wall (s)",
         ],
         &rows,
     );
@@ -84,7 +88,9 @@ pub fn scenarios(opts: &Options) {
     );
 
     // Engine counters per cell: how much of the batch grid the event
-    // core skipped, and how many true-time events it applied.
+    // core skipped, how many true-time events it applied, and how cheap
+    // the incremental candidate-index maintenance was compared to the
+    // per-batch rebuilds it replaced.
     let engine_cells: Vec<Value> = cells
         .iter()
         .map(|c| {
@@ -96,6 +102,9 @@ pub fn scenarios(opts: &Options) {
                 "ticks_skipped": c.ticks_skipped,
                 "skip_rate": c.skip_rate,
                 "events_processed": c.events_processed,
+                "index_ops": c.index_ops,
+                "index_regions_dirtied": c.index_regions_dirtied,
+                "index_rebuilds_avoided": c.index_rebuilds_avoided,
                 "wall_s": c.wall_s,
             })
         })
@@ -114,6 +123,11 @@ pub fn scenarios(opts: &Options) {
                 (total_batches - total_executed) as f64 / total_batches as f64
             },
             "total_events_processed": cells.iter().map(|c| c.events_processed).sum::<usize>(),
+            "total_index_ops": cells.iter().map(|c| c.index_ops).sum::<usize>(),
+            "total_index_regions_dirtied":
+                cells.iter().map(|c| c.index_regions_dirtied).sum::<usize>(),
+            "total_index_rebuilds_avoided":
+                cells.iter().map(|c| c.index_rebuilds_avoided).sum::<usize>(),
             "cells": engine_cells,
         }),
     );

@@ -2,8 +2,10 @@
 //!
 //! The paper evaluates on a single NYC-like weekday profile. This crate
 //! turns that single workload into a family: a [`ScenarioSpec`] is a
-//! JSON-loadable description of a day that composes perturbations on top
-//! of the calibrated NYC-like generator —
+//! JSON-loadable description of a day (see
+//! [`ScenarioSpec::from_json_str`] for the schema and a worked example)
+//! that composes perturbations on top of the calibrated NYC-like
+//! generator —
 //!
 //! * **surge windows** ([`SurgeWindow`]) — time-boxed demand-rate
 //!   multipliers (rush hours, events);
@@ -16,14 +18,16 @@
 //! * **deadline-tightness overrides** ([`SimOverrides`]) — patience and
 //!   batch-interval changes.
 //!
-//! [`builtins`] names six ready-made scenarios (baseline weekday, rush
+//! [`builtins()`] names six ready-made scenarios (baseline weekday, rush
 //! surge, airport pulse, rain, driver shortage, weekend lull), and
-//! [`sweep`] runs {policies} × {scenarios} on a scoped worker pool with
+//! [`sweep()`] runs {policies} × {scenarios} on a scoped worker pool with
 //! deterministic, thread-count-independent results. The motivation
 //! follows the imbalance regimes studied by Alwan–Ata–Zhou (2023) and
 //! the e-hailing queueing-network view of Zhang–Honnappa–Ukkusuri
 //! (2018): dispatch quality must be judged across demand/supply regimes,
 //! not one lucky weekday.
+
+#![warn(missing_docs)]
 
 pub mod builtins;
 pub mod spec;

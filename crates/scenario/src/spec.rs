@@ -400,6 +400,37 @@ impl ScenarioSpec {
     }
 
     /// Parses a spec from JSON text.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mrvd_scenario::ScenarioSpec;
+    ///
+    /// let spec = ScenarioSpec::from_json_str(
+    ///     r#"{
+    ///         "name": "evening-rush",
+    ///         "description": "17:00-19:00 demand surge, rain slowdown",
+    ///         "orders_per_day": 5000,
+    ///         "surges": [{"start_ms": 61200000, "end_ms": 68400000, "factor": 1.8}],
+    ///         "driver_phases": [{"from_ms": 0, "drivers": 120}],
+    ///         "speed_factor": 0.8,
+    ///         "sim": {"batch_interval_ms": 3000}
+    ///     }"#,
+    /// )
+    /// .unwrap();
+    /// assert_eq!(spec.name, "evening-rush");
+    /// assert_eq!(spec.driver_phases[0].drivers, 120);
+    /// assert_eq!(spec.sim.batch_interval_ms, Some(3_000));
+    ///
+    /// // Unknown fields are rejected, not silently dropped.
+    /// let err = ScenarioSpec::from_json_str(
+    ///     r#"{"name": "x", "orders_per_day": 10,
+    ///         "driver_phases": [{"from_ms": 0, "drivers": 1}],
+    ///         "surge": []}"#,
+    /// )
+    /// .unwrap_err();
+    /// assert!(err.contains("unknown field"));
+    /// ```
     pub fn from_json_str(s: &str) -> Result<Self, String> {
         let v = serde_json::from_str(s).map_err(|e| e.to_string())?;
         Self::from_json(&v)

@@ -136,6 +136,16 @@ pub struct SweepCell {
     pub skip_rate: f64,
     /// State-transition events the engine applied at true event times.
     pub events_processed: usize,
+    /// Mutations applied to the live availability index
+    /// ([`mrvd_sim::SimResult::index_ops`]).
+    pub index_ops: usize,
+    /// Regions dirtied between consecutive executed batches
+    /// ([`mrvd_sim::SimResult::index_regions_dirtied`]).
+    pub index_regions_dirtied: usize,
+    /// Policy invocations served by the live index instead of a
+    /// from-scratch candidate-index rebuild
+    /// ([`mrvd_sim::SimResult::index_rebuilds_avoided`]).
+    pub index_rebuilds_avoided: usize,
 }
 
 /// Sweeps `policies` × `specs` on `threads` workers. Each scenario is
@@ -168,6 +178,9 @@ pub fn sweep(specs: &[ScenarioSpec], policies: &[SweepPolicy], threads: usize) -
             ticks_skipped: result.ticks_skipped(),
             skip_rate: result.skip_rate(),
             events_processed: result.events_processed,
+            index_ops: result.index_ops,
+            index_regions_dirtied: result.index_regions_dirtied,
+            index_rebuilds_avoided: result.index_rebuilds_avoided,
         }
     })
 }
@@ -215,6 +228,12 @@ mod tests {
                 c.events_processed >= c.total_riders,
                 "every admission is an event"
             );
+            assert_eq!(
+                c.index_rebuilds_avoided, c.ticks_executed,
+                "every executed batch is served by the live index"
+            );
+            assert!(c.index_ops > 0, "fleet seeding alone applies index ops");
+            assert!(c.index_regions_dirtied <= c.index_ops);
         }
     }
 }

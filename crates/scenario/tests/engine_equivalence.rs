@@ -100,6 +100,17 @@ fn assert_builtin_equivalent(name: &str, policy: SweepPolicy) {
         fast.batches
     );
     assert!(fast.events_processed > 0, "{name}: no events processed");
+    // The bit-identical result above was produced through the live
+    // incremental index (fast) against the per-batch rebuild path
+    // (slow, which has no live index) — assert that differential
+    // actually happened.
+    assert_eq!(
+        fast.index_rebuilds_avoided, fast.ticks_executed,
+        "{name}: a policy invocation ran without the live index"
+    );
+    assert!(fast.index_ops > 0, "{name}: index never maintained");
+    assert_eq!(slow.index_ops, 0, "{name}: reference loop grew an index");
+    assert_eq!(slow.index_rebuilds_avoided, 0);
 }
 
 #[test]

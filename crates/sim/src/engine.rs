@@ -21,7 +21,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use mrvd_demand::TripRecord;
-use mrvd_spatial::{Grid, Point, TravelModel};
+use mrvd_spatial::{Grid, Point, RegionIndex, TravelModel};
 use mrvd_stats::SummaryStats;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -97,11 +97,13 @@ const PRI_DEADLINE: u8 = 2;
 /// the legacy per-batch scan did: ramp-ups cancel pending retirements
 /// first, then wake pooled offline drivers in pool order; ramp-downs
 /// park idle drivers from the pool's tail and mark busy ones (also from
-/// the tail) to retire at their next dropoff. Returns whether any
+/// the tail) to retire at their next dropoff. Availability transitions
+/// are mirrored into the live candidate index. Returns whether any
 /// driver actually moved state.
 fn reconcile_fleet(
     drivers: &mut [DriverState],
     retiring: &mut [bool],
+    avail_index: &mut RegionIndex<DriverId>,
     target: usize,
     now: Millis,
 ) -> bool {
@@ -123,24 +125,27 @@ fn reconcile_fleet(
                 moved = true;
             }
         }
-        for d in drivers.iter_mut() {
+        for (i, d) in drivers.iter_mut().enumerate() {
             if need == 0 {
                 break;
             }
             if let DriverState::Offline { pos } = *d {
                 *d = DriverState::Available { pos, since_ms: now };
+                avail_index.insert(DriverId(i as u32), pos);
                 need -= 1;
                 moved = true;
             }
         }
     } else if online > target {
         let mut excess = online - target;
-        for d in drivers.iter_mut().rev() {
+        for (i, d) in drivers.iter_mut().enumerate().rev() {
             if excess == 0 {
                 break;
             }
             if let DriverState::Available { pos, .. } = *d {
                 *d = DriverState::Offline { pos };
+                let removed = avail_index.remove_at(DriverId(i as u32), pos);
+                debug_assert_eq!(removed, 1, "index out of sync at shift-off");
                 excess -= 1;
                 moved = true;
             }
@@ -319,6 +324,16 @@ impl<'a> Simulator<'a> {
             .collect();
         // Busy drivers marked here retire (go offline) at their dropoff.
         let mut retiring = vec![false; drivers.len()];
+        // The live candidate index: exactly the available drivers, kept
+        // in sync incrementally at true event times (assignment, dropoff,
+        // shift on/off) instead of being rebuilt by every policy every
+        // batch. Policies reach it through `BatchContext::avail_index`.
+        let mut avail_index: RegionIndex<DriverId> = RegionIndex::new(self.grid.clone());
+        for (i, d) in drivers.iter().enumerate() {
+            if let DriverState::Available { pos, .. } = *d {
+                avail_index.insert(DriverId(i as u32), pos);
+            }
+        }
         let phases = schedule.phases();
         // Phase 0 seeded the fleet above; later phases fire as events.
         let mut next_phase = 1usize;
@@ -339,6 +354,8 @@ impl<'a> Simulator<'a> {
         let mut batch_time = SummaryStats::new();
         let mut ticks_executed = 0usize;
         let mut events_processed = 0usize;
+        let mut index_regions_dirtied = 0usize;
+        let mut index_rebuilds_avoided = 0usize;
         // Scratch flags for validation.
         let mut rider_assigned = vec![false; riders.len()];
 
@@ -404,6 +421,7 @@ impl<'a> Simulator<'a> {
                             retiring[d] = false;
                             DriverState::Offline { pos: dropoff }
                         } else {
+                            avail_index.insert(DriverId(id), dropoff);
                             DriverState::Available {
                                 pos: dropoff,
                                 since_ms: t,
@@ -415,7 +433,13 @@ impl<'a> Simulator<'a> {
                     PRI_SHIFT => {
                         next_phase += 1;
                         let target = phases[id as usize].1;
-                        changed |= reconcile_fleet(&mut drivers, &mut retiring, target, t);
+                        changed |= reconcile_fleet(
+                            &mut drivers,
+                            &mut retiring,
+                            &mut avail_index,
+                            target,
+                            t,
+                        );
                         events_processed += 1;
                     }
                     _ => {
@@ -475,6 +499,18 @@ impl<'a> Simulator<'a> {
                         DriverState::Busy { .. } | DriverState::Offline { .. } => {}
                     }
                 }
+                // Settle the index's change tracking for this batch: the
+                // dirtied regions are the spatial state that actually
+                // changed since the previous policy invocation; handing
+                // the live index over is one rebuild the policy skips.
+                debug_assert_eq!(
+                    avail_index.len(),
+                    avail_view.len(),
+                    "live index out of sync with the availability view"
+                );
+                index_regions_dirtied += avail_index.dirty_regions().len();
+                avail_index.clear_dirty();
+                index_rebuilds_avoided += 1;
                 let ctx = BatchContext {
                     now_ms: tick,
                     riders: &waiting_view,
@@ -482,6 +518,7 @@ impl<'a> Simulator<'a> {
                     busy: &busy_view,
                     travel: self.travel,
                     grid: self.grid,
+                    avail_index: Some(&avail_index),
                 };
 
                 let t0 = std::time::Instant::now();
@@ -539,6 +576,8 @@ impl<'a> Simulator<'a> {
                         until_ms: dropoff_ms,
                         dropoff: rider.trip.dropoff,
                     };
+                    let removed = avail_index.remove_at(a.driver, pos);
+                    debug_assert_eq!(removed, 1, "index out of sync at assignment");
                     events.push(Reverse((dropoff_ms, PRI_DROPOFF, a.driver.0)));
                     rider_assigned[ri as usize] = true;
                     served += 1;
@@ -652,6 +691,9 @@ impl<'a> Simulator<'a> {
             batches: horizon.div_ceil(delta) as usize,
             ticks_executed,
             events_processed,
+            index_ops: avail_index.ops_applied() as usize,
+            index_regions_dirtied,
+            index_rebuilds_avoided,
             assignments,
             reneges,
         }
@@ -1225,6 +1267,46 @@ mod tests {
         assert_eq!(res.ticks_executed, 0);
         assert_eq!(res.events_processed, 0);
         assert!((res.skip_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn live_index_counters_track_maintenance() {
+        let res = run(&mut FirstFit, 120, 10);
+        assert!(res.served > 0);
+        // Every policy invocation was served by the live index…
+        assert_eq!(res.index_rebuilds_avoided, res.ticks_executed);
+        // …whose maintenance is event-driven: the 10 seed inserts, one
+        // remove per assignment, one insert per dropoff (dropoffs after
+        // the last processed slot never re-enter the index).
+        assert!(res.index_ops >= 10 + res.served);
+        assert!(res.index_ops <= 10 + 2 * res.served);
+        // Each assignment dirties at most two regions (pickup-side remove
+        // + dropoff-side insert), plus the seeds — far below a rebuild's
+        // per-batch full refill.
+        assert!(res.index_regions_dirtied > 0);
+        assert!(res.index_regions_dirtied <= res.index_ops);
+    }
+
+    #[test]
+    fn reference_loop_reports_zero_index_counters() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let config = SimConfig {
+            horizon_ms: 600_000,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::new(config, &travel, &grid);
+        let trips = mk_trips(10);
+        let drivers: Vec<Point> = (0..4).map(|_| Point::new(-73.97, 40.75)).collect();
+        let res = sim.run_scheduled_reference(
+            &trips,
+            &drivers,
+            &DriverSchedule::constant(drivers.len()),
+            &mut FirstFit,
+        );
+        assert_eq!(res.index_ops, 0);
+        assert_eq!(res.index_regions_dirtied, 0);
+        assert_eq!(res.index_rebuilds_avoided, 0);
     }
 
     #[test]

@@ -11,8 +11,14 @@
 //! and shift changes live on one time-ordered event queue and are
 //! applied at their exact timestamps, while the policy still runs at the
 //! paper's batch boundaries — batch slots where nothing changed are
-//! skipped entirely (see `engine`). The literal per-Δ loop survives as
-//! [`Simulator::run_scheduled_reference`] for differential testing.
+//! skipped entirely (see `engine`). Alongside the driver states the
+//! engine maintains a live [`mrvd_spatial::RegionIndex`] of the
+//! available fleet, updated incrementally at those same event times and
+//! exposed to policies via [`BatchContext::avail_index`], so candidate
+//! generation never rebuilds spatial state that did not change. The
+//! literal per-Δ loop survives as
+//! [`Simulator::run_scheduled_reference`] (no skipping, no live index)
+//! for differential testing.
 //!
 //! The simulator is deterministic given its seed, enforces the paper's
 //! validity constraint (Definition 3: the driver must reach the pickup
@@ -21,6 +27,8 @@
 //! per-assignment idle intervals (for Table 3), exact-time renege
 //! records, per-batch wall-clock times (for Figures 7b–10b) and the
 //! engine's skip/event counters.
+
+#![warn(missing_docs)]
 
 pub mod engine;
 pub mod metrics;

@@ -86,6 +86,22 @@ pub struct SimResult {
     /// (admissions, reneges, dropoffs, shift changes). Zero under the
     /// legacy reference loop, which scans instead of queueing events.
     pub events_processed: usize,
+    /// Mutations applied to the live availability index (one per insert,
+    /// one per remove, two per move) while maintaining it incrementally
+    /// across the whole run. Zero under the legacy reference loop, which
+    /// has no live index — policies rebuild their own every batch.
+    pub index_ops: usize,
+    /// Cumulative count of regions whose index bucket changed between
+    /// consecutive *executed* batches (the dirty-set size drained at each
+    /// policy invocation). Low numbers relative to
+    /// `ticks_executed × num_regions` are what make incremental
+    /// maintenance pay off.
+    pub index_regions_dirtied: usize,
+    /// Policy invocations that were handed the live index instead of
+    /// having to rebuild a candidate index from scratch — equals
+    /// [`SimResult::ticks_executed`] under the event engine, zero under
+    /// the legacy reference loop.
+    pub index_rebuilds_avoided: usize,
     /// Complete assignment log (chronological).
     pub assignments: Vec<AssignmentRecord>,
     /// Complete renege log (chronological).
@@ -223,6 +239,9 @@ mod tests {
             batches: 2,
             ticks_executed: 2,
             events_processed: 0,
+            index_ops: 0,
+            index_regions_dirtied: 0,
+            index_rebuilds_avoided: 0,
             assignments: vec![
                 // Driver 0: drops off at 100_000, estimated idle 30 s,
                 // next assignment at batch 140_000 → realized 40 s.
@@ -250,6 +269,9 @@ mod tests {
             batches: 2,
             ticks_executed: 2,
             events_processed: 0,
+            index_ops: 0,
+            index_regions_dirtied: 0,
+            index_rebuilds_avoided: 0,
             assignments: vec![
                 rec(0, 10_000, 10_000, 100_000, None),
                 rec(0, 140_000, 40_000, 200_000, None),
@@ -275,6 +297,9 @@ mod tests {
             batches: 6,
             ticks_executed: 2,
             events_processed: 0,
+            index_ops: 0,
+            index_regions_dirtied: 0,
+            index_rebuilds_avoided: 0,
             assignments: vec![],
             reneges: vec![],
         };
@@ -298,6 +323,9 @@ mod tests {
             batches: 0,
             ticks_executed: 0,
             events_processed: 0,
+            index_ops: 0,
+            index_regions_dirtied: 0,
+            index_rebuilds_avoided: 0,
             assignments: vec![],
             reneges: vec![],
         };

@@ -1,7 +1,7 @@
 //! The dispatch-policy interface between the simulator and the
 //! assignment algorithms of `mrvd-core`.
 
-use mrvd_spatial::{Grid, Point, TravelModel};
+use mrvd_spatial::{Grid, Point, RegionIndex, TravelModel};
 
 use crate::types::{DriverId, Millis, RiderId};
 
@@ -60,6 +60,18 @@ pub struct BatchContext<'a> {
     pub travel: &'a dyn TravelModel,
     /// The region partition.
     pub grid: &'a Grid,
+    /// The engine's incrementally maintained spatial index of the
+    /// available drivers, when one is live (`None` under the legacy
+    /// reference loop and in hand-built contexts).
+    ///
+    /// When present, it is guaranteed to be consistent with
+    /// [`BatchContext::drivers`]: same driver set, same positions, built
+    /// over [`BatchContext::grid`], with `drivers` sorted by ascending
+    /// [`DriverId`] so [`BatchContext::driver_slot`] can translate index
+    /// hits back to slice positions. Candidate generation uses it to skip
+    /// the per-batch index rebuild (drivers only move at dropoffs, so
+    /// consecutive batches share almost all spatial state).
+    pub avail_index: Option<&'a RegionIndex<DriverId>>,
 }
 
 impl BatchContext<'_> {
@@ -68,6 +80,17 @@ impl BatchContext<'_> {
     pub fn is_valid_pair(&self, rider: &WaitingRider, driver: &AvailableDriver) -> bool {
         let t = self.travel.travel_time_ms(driver.pos, rider.pickup);
         self.now_ms + t <= rider.deadline_ms
+    }
+
+    /// Position of `id` in [`BatchContext::drivers`], by binary search —
+    /// the engine lists available drivers in ascending id order. Returns
+    /// `None` for drivers not in the batch (busy, offline, unknown).
+    pub fn driver_slot(&self, id: DriverId) -> Option<usize> {
+        debug_assert!(
+            self.drivers.windows(2).all(|w| w[0].id < w[1].id),
+            "BatchContext::drivers must be sorted by ascending id"
+        );
+        self.drivers.binary_search_by_key(&id, |d| d.id).ok()
     }
 }
 
@@ -164,8 +187,35 @@ mod tests {
             busy: &[],
             travel: &travel,
             grid: &grid,
+            avail_index: None,
         };
         assert!(ctx.is_valid_pair(&rider, &near));
         assert!(!ctx.is_valid_pair(&rider, &far));
+    }
+
+    #[test]
+    fn driver_slot_finds_drivers_by_binary_search() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(10.0);
+        let drivers: Vec<AvailableDriver> = [0u32, 3, 7]
+            .iter()
+            .map(|&i| AvailableDriver {
+                id: DriverId(i),
+                pos: Point::new(-73.98, 40.75),
+                available_since_ms: 0,
+            })
+            .collect();
+        let ctx = BatchContext {
+            now_ms: 0,
+            riders: &[],
+            drivers: &drivers,
+            busy: &[],
+            travel: &travel,
+            grid: &grid,
+            avail_index: None,
+        };
+        assert_eq!(ctx.driver_slot(DriverId(0)), Some(0));
+        assert_eq!(ctx.driver_slot(DriverId(7)), Some(2));
+        assert_eq!(ctx.driver_slot(DriverId(5)), None);
     }
 }

@@ -32,9 +32,11 @@ impl Simulator<'_> {
     /// their phase start, and the policy is invoked at *every* batch
     /// slot ([`SimResult::ticks_executed`] equals
     /// [`SimResult::batches`], and [`SimResult::events_processed`] is 0
-    /// since this loop scans instead of queueing events). Counts,
-    /// revenue and assignments are identical to the event core on
-    /// Δ-aligned schedules.
+    /// since this loop scans instead of queueing events; the
+    /// index-maintenance counters are likewise 0 because no live
+    /// candidate index exists here — policies rebuild their own every
+    /// batch). Counts, revenue and assignments are identical to the
+    /// event core on Δ-aligned schedules.
     ///
     /// # Panics
     /// Panics under the same conditions as [`Simulator::run_scheduled`].
@@ -219,6 +221,10 @@ impl Simulator<'_> {
                 busy: &busy_view,
                 travel: self.travel(),
                 grid: self.grid(),
+                // The reference loop maintains no live index: policies
+                // fall back to their per-batch candidate-index rebuild,
+                // which is exactly the differential this loop exists for.
+                avail_index: None,
             };
 
             // 5. Run the policy, timed.
@@ -342,6 +348,9 @@ impl Simulator<'_> {
             batches,
             ticks_executed: batches,
             events_processed: 0,
+            index_ops: 0,
+            index_regions_dirtied: 0,
+            index_rebuilds_avoided: 0,
             assignments,
             reneges,
         }

@@ -1,10 +1,24 @@
-//! Per-region bucket index for candidate queries.
+//! Per-region bucket index for candidate queries, with incremental
+//! maintenance.
 //!
 //! The dispatcher repeatedly asks "which available drivers could reach this
 //! rider before the deadline?". A full scan per rider is O(riders × drivers)
 //! per batch; bucketing items by region and expanding over grid rings until
 //! the deadline bounds the radius keeps the candidate set small, which is
 //! the standard practical optimization noted in DESIGN.md.
+//!
+//! Between consecutive batch timestamps almost nothing moves: drivers only
+//! change position at dropoffs, and only change availability at
+//! assignments, dropoffs and shift changes. The index therefore supports
+//! *incremental* maintenance — [`RegionIndex::insert`],
+//! [`RegionIndex::remove`]/[`RegionIndex::remove_at`] and
+//! [`RegionIndex::move_item`] applied at true event times — alongside the
+//! from-scratch [`RegionIndex::rebuild_reference`] path kept for
+//! differential testing. A dirty-region set ([`RegionIndex::dirty_regions`])
+//! records which buckets changed since the last
+//! [`RegionIndex::clear_dirty`], and [`RegionIndex::ops_applied`] counts
+//! every applied mutation, so callers can observe how sparse the
+//! batch-to-batch state change really is.
 
 use crate::geo::Point;
 use crate::grid::{Grid, RegionId};
@@ -14,21 +28,63 @@ use crate::grid::{Grid, RegionId};
 /// `T` is typically a driver id. Items carry their exact position so that
 /// callers can apply precise travel-time filters after the coarse ring
 /// search.
+///
+/// # Example
+///
+/// ```
+/// use mrvd_spatial::{Grid, Point, RegionIndex};
+///
+/// let mut ix = RegionIndex::new(Grid::nyc_16x16());
+/// let midtown = Point::new(-73.98, 40.75);
+/// let harlem = Point::new(-73.94, 40.81);
+/// ix.insert(1u32, midtown);
+/// ix.insert(2u32, harlem);
+///
+/// // Ring-bounded radius query: only the midtown driver is within 2 km.
+/// let near: Vec<u32> = ix
+///     .within_radius(midtown, 2_000.0, usize::MAX)
+///     .into_iter()
+///     .map(|(id, _)| id)
+///     .collect();
+/// assert_eq!(near, vec![1]);
+///
+/// // Incremental maintenance: the driver drops off in Harlem and the
+/// // index follows without a rebuild.
+/// assert!(ix.move_item(1u32, midtown, harlem));
+/// assert_eq!(ix.within_radius(midtown, 2_000.0, usize::MAX).len(), 0);
+/// assert_eq!(ix.within_radius(harlem, 2_000.0, usize::MAX).len(), 2);
+/// ```
 #[derive(Debug, Clone)]
 pub struct RegionIndex<T> {
     grid: Grid,
     buckets: Vec<Vec<(T, Point)>>,
     len: usize,
+    /// Regions whose bucket contents changed since the last
+    /// [`RegionIndex::clear_dirty`], deduplicated via `dirty_flag`.
+    dirty: Vec<RegionId>,
+    dirty_flag: Vec<bool>,
+    ops: u64,
 }
 
 impl<T: Copy> RegionIndex<T> {
     /// An empty index over `grid`.
     pub fn new(grid: Grid) -> Self {
         let buckets = vec![Vec::new(); grid.num_regions()];
+        let dirty_flag = vec![false; grid.num_regions()];
         Self {
             grid,
             buckets,
             len: 0,
+            dirty: Vec::new(),
+            dirty_flag,
+            ops: 0,
+        }
+    }
+
+    fn mark_dirty(&mut self, r: RegionId) {
+        if !self.dirty_flag[r.idx()] {
+            self.dirty_flag[r.idx()] = true;
+            self.dirty.push(r);
         }
     }
 
@@ -37,6 +93,8 @@ impl<T: Copy> RegionIndex<T> {
         let r = self.grid.region_of(p);
         self.buckets[r.idx()].push((item, p));
         self.len += 1;
+        self.ops += 1;
+        self.mark_dirty(r);
     }
 
     /// Removes every copy of `item` from region `r`'s bucket; returns how
@@ -51,7 +109,37 @@ impl<T: Copy> RegionIndex<T> {
         bucket.retain(|(x, _)| *x != item);
         let removed = before - bucket.len();
         self.len -= removed;
+        if removed > 0 {
+            self.ops += removed as u64;
+            self.mark_dirty(r);
+        }
         removed
+    }
+
+    /// Removes every copy of `item` from the bucket of the region
+    /// containing `p` (the caller's record of where the item was
+    /// inserted); returns how many were removed.
+    pub fn remove_at(&mut self, item: T, p: Point) -> usize
+    where
+        T: PartialEq,
+    {
+        let r = self.grid.region_of(p);
+        self.remove(item, r)
+    }
+
+    /// Moves `item` from its recorded position `from` to `to`: removes it
+    /// from `from`'s region and re-inserts it at `to`. Returns whether the
+    /// item was found at `from` (if not, nothing is inserted — the index
+    /// never invents items).
+    pub fn move_item(&mut self, item: T, from: Point, to: Point) -> bool
+    where
+        T: PartialEq,
+    {
+        if self.remove_at(item, from) == 0 {
+            return false;
+        }
+        self.insert(item, to);
+        true
     }
 
     /// Total number of items.
@@ -64,10 +152,14 @@ impl<T: Copy> RegionIndex<T> {
         self.len == 0
     }
 
-    /// Clears all buckets, keeping capacity.
+    /// Clears all buckets, keeping capacity. Non-empty regions are marked
+    /// dirty (their contents changed to nothing).
     pub fn clear(&mut self) {
-        for b in &mut self.buckets {
-            b.clear();
+        for i in 0..self.buckets.len() {
+            if !self.buckets[i].is_empty() {
+                self.buckets[i].clear();
+                self.mark_dirty(RegionId(i as u32));
+            }
         }
         self.len = 0;
     }
@@ -75,13 +167,61 @@ impl<T: Copy> RegionIndex<T> {
     /// Re-points the index at `grid` and clears it, reusing the bucket
     /// allocations whenever the region count is unchanged. Callers that
     /// rebuild an index every batch over the same grid pay only the
-    /// clear, not `num_regions` fresh `Vec`s.
+    /// clear, not `num_regions` fresh `Vec`s. The dirty set is reset:
+    /// after a retarget the caller is starting from scratch, so
+    /// per-region change tracking has no baseline to diff against.
     pub fn retarget(&mut self, grid: &Grid) {
+        // Drain the dirty set while its entries still index the old
+        // grid's flag vector.
+        self.clear_dirty();
         if self.grid != *grid {
             self.buckets.resize(grid.num_regions(), Vec::new());
+            self.dirty_flag.resize(grid.num_regions(), false);
             self.grid = grid.clone();
         }
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Clears and refills the index from `items` — the from-scratch path
+    /// the per-batch rebuild used before incremental maintenance existed,
+    /// kept as the differential-testing reference: after any sequence of
+    /// [`RegionIndex::insert`] / [`RegionIndex::remove`] /
+    /// [`RegionIndex::move_item`] calls, the incrementally maintained
+    /// index must hold exactly the items a `rebuild_reference` over the
+    /// ground-truth set would produce (bucket *order* may differ; bucket
+    /// *contents* may not).
+    pub fn rebuild_reference<I>(&mut self, items: I)
+    where
+        I: IntoIterator<Item = (T, Point)>,
+    {
         self.clear();
+        for (item, p) in items {
+            self.insert(item, p);
+        }
+    }
+
+    /// Regions whose contents changed since the last
+    /// [`RegionIndex::clear_dirty`], in first-dirtied order.
+    pub fn dirty_regions(&self) -> &[RegionId] {
+        &self.dirty
+    }
+
+    /// Resets the dirty-region set (typically after a consumer has
+    /// refreshed whatever it derives from the dirtied buckets).
+    pub fn clear_dirty(&mut self) {
+        for r in self.dirty.drain(..) {
+            self.dirty_flag[r.idx()] = false;
+        }
+    }
+
+    /// Total mutations applied over the index's lifetime: one per insert,
+    /// one per removed copy, two per successful move (its remove + its
+    /// insert). Rebuilds count their constituent operations.
+    pub fn ops_applied(&self) -> u64 {
+        self.ops
     }
 
     /// Items in one region.
@@ -170,6 +310,26 @@ mod tests {
         Grid::nyc_16x16()
     }
 
+    /// Order-normalized bucket contents: `(region, [(item, pos bits)])`.
+    type Canonical<T> = Vec<(u32, Vec<(T, (u64, u64))>)>;
+
+    /// Bucket contents per region, order-normalized — the canonical form
+    /// the incremental-vs-rebuild equivalence compares.
+    fn canonical<T: Copy + Ord>(ix: &RegionIndex<T>) -> Canonical<T> {
+        (0..ix.grid().num_regions() as u32)
+            .map(|r| {
+                let mut items: Vec<(T, (u64, u64))> = ix
+                    .in_region(RegionId(r))
+                    .iter()
+                    .map(|&(t, p)| (t, (p.lon.to_bits(), p.lat.to_bits())))
+                    .collect();
+                items.sort_unstable();
+                (r, items)
+            })
+            .filter(|(_, items)| !items.is_empty())
+            .collect()
+    }
+
     #[test]
     fn insert_and_query_region() {
         let mut ix = RegionIndex::new(grid());
@@ -191,6 +351,85 @@ mod tests {
         assert_eq!(ix.len(), 1);
         assert_eq!(ix.in_region(r), &[(2, p)]);
         assert_eq!(ix.remove(99, r), 0);
+    }
+
+    #[test]
+    fn remove_at_uses_the_position_region() {
+        let mut ix = RegionIndex::new(grid());
+        let p = Point::new(-73.9, 40.75);
+        let q = Point::new(-73.8, 40.85);
+        ix.insert(1u32, p);
+        ix.insert(1u32, q);
+        assert_eq!(ix.remove_at(1, p), 1);
+        assert_eq!(ix.len(), 1);
+        assert_eq!(ix.in_region(ix.grid().region_of(q)), &[(1, q)]);
+    }
+
+    #[test]
+    fn move_item_relocates_and_reports_missing() {
+        let mut ix = RegionIndex::new(grid());
+        let from = Point::new(-73.9, 40.75);
+        let to = Point::new(-73.8, 40.85);
+        ix.insert(5u32, from);
+        assert!(ix.move_item(5, from, to));
+        assert_eq!(ix.len(), 1);
+        assert!(ix.in_region(ix.grid().region_of(from)).is_empty());
+        assert_eq!(ix.in_region(ix.grid().region_of(to)), &[(5, to)]);
+        // Unknown item: no-op, and nothing is invented at `to`.
+        assert!(!ix.move_item(6, from, to));
+        assert_eq!(ix.len(), 1);
+    }
+
+    #[test]
+    fn dirty_set_tracks_touched_regions_without_duplicates() {
+        let mut ix = RegionIndex::new(grid());
+        let p = Point::new(-73.9, 40.75);
+        let q = Point::new(-73.8, 40.85);
+        assert!(ix.dirty_regions().is_empty());
+        ix.insert(1u32, p);
+        ix.insert(2u32, p); // same region → still one dirty entry
+        ix.insert(3u32, q);
+        let rp = ix.grid().region_of(p);
+        let rq = ix.grid().region_of(q);
+        assert_eq!(ix.dirty_regions(), &[rp, rq]);
+        ix.clear_dirty();
+        assert!(ix.dirty_regions().is_empty());
+        // A failed remove dirties nothing; a successful one does.
+        ix.remove(99, rp);
+        assert!(ix.dirty_regions().is_empty());
+        ix.remove(1, rp);
+        assert_eq!(ix.dirty_regions(), &[rp]);
+        // A move dirties both endpoints.
+        ix.clear_dirty();
+        ix.move_item(3, q, p);
+        assert_eq!(ix.dirty_regions(), &[rq, rp]);
+    }
+
+    #[test]
+    fn ops_count_every_applied_mutation() {
+        let mut ix = RegionIndex::new(grid());
+        let p = Point::new(-73.9, 40.75);
+        let q = Point::new(-73.8, 40.85);
+        assert_eq!(ix.ops_applied(), 0);
+        ix.insert(1u32, p); // 1
+        ix.insert(2u32, p); // 2
+        ix.remove(99, ix.grid().region_of(p)); // miss: still 2
+        assert_eq!(ix.ops_applied(), 2);
+        ix.remove_at(1, p); // 3
+        ix.move_item(2, p, q); // remove + insert: 5
+        assert_eq!(ix.ops_applied(), 5);
+    }
+
+    #[test]
+    fn rebuild_reference_replaces_contents() {
+        let mut ix = RegionIndex::new(grid());
+        let p = Point::new(-73.9, 40.75);
+        let q = Point::new(-73.8, 40.85);
+        ix.insert(1u32, p);
+        ix.rebuild_reference([(2u32, q), (3u32, q)]);
+        assert_eq!(ix.len(), 2);
+        assert!(ix.in_region(ix.grid().region_of(p)).is_empty());
+        assert_eq!(ix.in_region(ix.grid().region_of(q)), &[(2, q), (3, q)]);
     }
 
     #[test]
@@ -230,6 +469,7 @@ mod tests {
         // Same grid: contents cleared, index usable again.
         ix.retarget(&g);
         assert!(ix.is_empty());
+        assert!(ix.dirty_regions().is_empty());
         ix.insert(2u32, p);
         assert_eq!(ix.in_region(ix.grid().region_of(p)), &[(2, p)]);
         // Different grid: bucket count follows the new region count.
@@ -305,6 +545,86 @@ mod tests {
                 .map(|(i, _)| i as u32)
                 .collect();
             prop_assert_eq!(got, expect);
+        }
+
+        /// The tentpole equivalence: an incrementally maintained index
+        /// must stay equal to a from-scratch rebuild of its ground truth
+        /// under random insert/remove/move sequences — same per-region
+        /// contents, same length, and a dirty set that covers every
+        /// region whose bucket changed.
+        #[test]
+        fn incremental_ops_match_rebuild_reference(seed in 0u64..40, n_ops in 10usize..120) {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD1E7);
+            let g = grid();
+            let mut inc: RegionIndex<u32> = RegionIndex::new(g.clone());
+            let mut truth: Vec<(u32, Point)> = Vec::new();
+            let pt = |rng: &mut StdRng| Point::new(
+                rng.gen_range(-74.03..-73.77),
+                rng.gen_range(40.58..40.92),
+            );
+            let mut next_id = 0u32;
+            for _ in 0..n_ops {
+                inc.clear_dirty();
+                let before = canonical(&inc);
+                match rng.gen_range(0u32..4) {
+                    // Insert a fresh item.
+                    0 | 1 => {
+                        let p = pt(&mut rng);
+                        truth.push((next_id, p));
+                        inc.insert(next_id, p);
+                        next_id += 1;
+                    }
+                    // Remove a (possibly absent) item.
+                    2 => {
+                        if truth.is_empty() {
+                            // Removing from an empty ground truth is a
+                            // no-op by construction.
+                            inc.remove_at(9999, pt(&mut rng));
+                        } else {
+                            let k = rng.gen_range(0..truth.len());
+                            let (id, p) = truth.swap_remove(k);
+                            prop_assert_eq!(inc.remove_at(id, p), 1);
+                        }
+                    }
+                    // Move an item (a driver dropping off elsewhere).
+                    _ => {
+                        if !truth.is_empty() {
+                            let k = rng.gen_range(0..truth.len());
+                            let to = pt(&mut rng);
+                            let (id, from) = truth[k];
+                            prop_assert!(inc.move_item(id, from, to));
+                            truth[k] = (id, to);
+                        }
+                    }
+                }
+                // The incremental index equals a fresh rebuild of the
+                // ground truth…
+                let mut rebuilt: RegionIndex<u32> = RegionIndex::new(g.clone());
+                rebuilt.rebuild_reference(truth.iter().copied());
+                prop_assert_eq!(canonical(&inc), canonical(&rebuilt));
+                prop_assert_eq!(inc.len(), truth.len());
+                // …and every region whose canonical contents changed this
+                // step is in the dirty set.
+                let after = canonical(&inc);
+                let changed: Vec<u32> = {
+                    let get = |c: &Canonical<u32>, r: u32|
+                        c.iter().find(|(k, _)| *k == r).map(|(_, v)| v.clone());
+                    let mut regions: Vec<u32> =
+                        before.iter().chain(after.iter()).map(|(r, _)| *r).collect();
+                    regions.sort_unstable();
+                    regions.dedup();
+                    regions
+                        .into_iter()
+                        .filter(|&r| get(&before, r) != get(&after, r))
+                        .collect()
+                };
+                for r in changed {
+                    prop_assert!(
+                        inc.dirty_regions().contains(&RegionId(r)),
+                        "region {} changed but was not dirtied", r
+                    );
+                }
+            }
         }
     }
 }

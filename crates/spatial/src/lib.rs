@@ -13,7 +13,18 @@
 //! * [`road`] — road-network graphs `G = ⟨V, E⟩` with Dijkstra shortest
 //!   paths and a synthetic Manhattan-lattice generator;
 //! * [`index`] — a per-region bucket index for radius-limited candidate
-//!   queries (used by the dispatcher to find drivers near a rider).
+//!   queries (used by the dispatcher to find drivers near a rider), with
+//!   incremental insert/remove/move maintenance, a dirty-region set and
+//!   an op counter so the simulation engine can keep one live index in
+//!   sync across batches instead of rebuilding it (drivers only move at
+//!   dropoffs; consecutive batches share almost all spatial state).
+//!
+//! In the paper's notation: [`Point`]s are the rider pickups `s_i` /
+//! dropoffs `e_i` and driver positions, a [`Grid`] cell is one region
+//! `a_k` of the §2 partition, and a [`travel::TravelModel`] is the travel
+//! cost function `cost(·, ·)` of Eq. 1.
+
+#![warn(missing_docs)]
 
 pub mod geo;
 pub mod grid;
