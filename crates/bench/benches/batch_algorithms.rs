@@ -18,6 +18,7 @@ fn ctx<'a>(f: &'a BatchFixture, travel: &'a ConstantSpeedModel) -> BatchContext<
         travel,
         grid: &f.grid,
         avail_index: None,
+        region_counts: None,
     }
 }
 

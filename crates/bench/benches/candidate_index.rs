@@ -24,6 +24,7 @@ fn ctx<'a>(
         travel,
         grid: &f.grid,
         avail_index,
+        region_counts: None,
     }
 }
 

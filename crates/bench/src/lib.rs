@@ -6,8 +6,8 @@
 
 use mrvd_core::DemandOracle;
 use mrvd_demand::{count_trips, DemandSeries, NycLikeConfig, NycLikeGenerator, TripRecord};
-use mrvd_sim::{AvailableDriver, BusyDriver, DriverId, RiderId, WaitingRider};
-use mrvd_spatial::{Grid, Point};
+use mrvd_sim::{AvailableDriver, BusyDriver, DriverId, RegionCounts, RiderId, WaitingRider};
+use mrvd_spatial::{Grid, Point, RegionIndex};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// A self-contained batch state: everything needed to build a
@@ -92,6 +92,50 @@ impl BatchFixture {
     /// A real-demand oracle over the fixture's day.
     pub fn oracle(&self) -> DemandOracle {
         DemandOracle::real(self.series.clone(), 0)
+    }
+
+    /// Re-anchors every rider onto a driver's position with a generous
+    /// pickup deadline, guaranteeing candidates (and thus assignments)
+    /// in benchmark batches. Shared by the rate-path measurement sites
+    /// (the `rate_estimation` bench and the `delta` subcommand's
+    /// microbench) so both time the same regime. Call before
+    /// [`BatchFixture::region_counts`].
+    ///
+    /// # Panics
+    /// Panics if the fixture has no drivers.
+    pub fn anchor_riders_to_drivers(&mut self) {
+        assert!(!self.drivers.is_empty(), "no drivers to anchor riders to");
+        let n = self.drivers.len();
+        for (i, r) in self.riders.iter_mut().enumerate() {
+            r.pickup = self.drivers[i % n].pos;
+            r.deadline_ms = self.now_ms + 150_000;
+        }
+    }
+
+    /// A live availability index mirroring the fixture's drivers — what
+    /// the engine would hand a policy via `BatchContext::avail_index`.
+    pub fn live_index(&self) -> RegionIndex<DriverId> {
+        let mut ix = RegionIndex::new(self.grid.clone());
+        for d in &self.drivers {
+            ix.insert(d.id, d.pos);
+        }
+        ix
+    }
+
+    /// Live per-region counts mirroring the fixture's views — what the
+    /// engine would hand a policy via `BatchContext::region_counts`.
+    pub fn region_counts(&self) -> RegionCounts {
+        let mut c = RegionCounts::new(self.grid.num_regions());
+        for r in &self.riders {
+            c.add_waiting(self.grid.region_of(r.pickup));
+        }
+        for d in &self.drivers {
+            c.add_available(self.grid.region_of(d.pos));
+        }
+        for b in &self.busy {
+            c.add_rejoining(self.grid.region_of(b.dropoff_pos), b.dropoff_ms);
+        }
+        c
     }
 }
 

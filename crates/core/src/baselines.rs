@@ -223,6 +223,7 @@ mod tests {
             travel: &travel,
             grid: &grid,
             avail_index: None,
+            region_counts: None,
         };
         let out = Ltg::default().assign(&ctx);
         assert_eq!(out.len(), 1);
@@ -240,6 +241,7 @@ mod tests {
             travel: &travel,
             grid: &grid,
             avail_index: None,
+            region_counts: None,
         };
         let out = Near::default().assign(&ctx);
         assert_eq!(out.len(), 1);
@@ -257,6 +259,7 @@ mod tests {
             travel: &travel,
             grid: &grid,
             avail_index: None,
+            region_counts: None,
         };
         let a = Rand::new(7).assign(&ctx);
         let b = Rand::new(7).assign(&ctx);
@@ -293,6 +296,7 @@ mod tests {
             travel: &travel,
             grid: &grid,
             avail_index: None,
+            region_counts: None,
         };
         for out in [
             Ltg::default().assign(&ctx),

@@ -260,6 +260,7 @@ mod tests {
             travel: &fast,
             grid: &grid,
             avail_index: None,
+            region_counts: None,
         };
         let ctx_slow = BatchContext {
             now_ms: 0,
@@ -269,6 +270,7 @@ mod tests {
             travel: &slow,
             grid: &grid,
             avail_index: None,
+            region_counts: None,
         };
         let a = valid_candidates(&ctx_fast, usize::MAX);
         let b = valid_candidates(&ctx_slow, usize::MAX);
@@ -292,6 +294,7 @@ mod tests {
             travel: &travel,
             grid: &grid,
             avail_index: None,
+            region_counts: None,
         };
         let c = valid_candidates(&ctx, usize::MAX);
         assert_eq!(c.pairs[0].len(), 2, "{:?}", c.pairs[0]);
@@ -313,6 +316,7 @@ mod tests {
             travel: &travel,
             grid: &grid,
             avail_index: None,
+            region_counts: None,
         };
         let c = valid_candidates(&ctx, 5);
         assert_eq!(c.pairs[0].len(), 5);
@@ -349,6 +353,7 @@ mod tests {
                 travel: &travel,
                 grid: &grid,
                 avail_index: None,
+                region_counts: None,
             };
             let reused = valid_candidates_with(&ctx, 8, &mut scratch);
             let fresh = valid_candidates(&ctx, 8);
@@ -385,6 +390,7 @@ mod tests {
             travel: &travel,
             grid: &grid,
             avail_index,
+            region_counts: None,
         };
         let with_live = valid_candidates(&mk_ctx(Some(&live)), 8);
         let rebuilt = valid_candidates(&mk_ctx(None), 8);
@@ -417,6 +423,7 @@ mod tests {
             travel: &travel,
             grid: &grid,
             avail_index: Some(&live),
+            region_counts: None,
         };
         let got = valid_candidates(&ctx, usize::MAX);
         assert_eq!(got.pairs[0].len(), 10);
@@ -442,11 +449,13 @@ mod tests {
             travel: &travel,
             grid: &grid,
             avail_index: Some(&live),
+            region_counts: None,
         };
         let got = valid_candidates(&ctx, usize::MAX);
         let expect = valid_candidates(
             &BatchContext {
                 avail_index: None,
+                region_counts: None,
                 ..ctx
             },
             usize::MAX,
@@ -471,6 +480,7 @@ mod tests {
             travel: &travel,
             grid: &grid,
             avail_index: None,
+            region_counts: None,
         };
         let c = valid_candidates(&ctx, usize::MAX);
         let inv = c.by_driver(3);

@@ -18,6 +18,13 @@ pub struct DispatchConfig {
     /// expected idle time, silencing the destination-side queueing term
     /// of the idle ratio (experiment E13 in DESIGN.md).
     pub uniform_et: bool,
+    /// Differential-testing switch: when true, the queueing policies
+    /// estimate rates through the verbatim eager reference path
+    /// ([`crate::estimate_rates`] + a full expected-idle-time table)
+    /// instead of the incremental lazy [`crate::RateTracker`]. Both paths
+    /// must produce byte-identical assignments; the equivalence batteries
+    /// pin it.
+    pub reference_rates: bool,
 }
 
 impl Default for DispatchConfig {
@@ -27,6 +34,7 @@ impl Default for DispatchConfig {
             beta: 0.05,
             max_candidates: 32,
             uniform_et: false,
+            reference_rates: false,
         }
     }
 }

@@ -8,7 +8,11 @@
 //!   minimizing `cost + ET` to maximize served orders). One implementation
 //!   parameterized by [`SearchMode`] and [`PriorityRule`].
 //! * [`rates`] — the per-region arrival-rate estimators of Eqs. 18–19 and
-//!   the expected-idle-time table driving the idle ratio (Eq. 17).
+//!   the expected-idle-time table driving the idle ratio (Eq. 17), kept
+//!   verbatim as the differential-testing reference.
+//! * [`rate_tracker`] — the incremental hot-path replacement: counts from
+//!   the engine's live [`mrvd_sim::RegionCounts`], expected idle times
+//!   solved lazily only for regions the policy touches.
 //! * [`oracle`] — the demand oracle: ground-truth counts (`-R` variants)
 //!   or a fitted [`mrvd_prediction::Predictor`] consulted online with
 //!   recursive multi-slot forecasting (`-P` variants).
@@ -31,6 +35,7 @@ pub mod config;
 pub mod oracle;
 pub mod polar;
 pub mod queueing_policy;
+pub mod rate_tracker;
 pub mod rates;
 pub mod upper;
 
@@ -40,5 +45,6 @@ pub use config::DispatchConfig;
 pub use oracle::DemandOracle;
 pub use polar::{Polar, PolarConfig};
 pub use queueing_policy::{PriorityRule, QueueingPolicy, SearchMode};
-pub use rates::{estimate_rates, RegionEstimates};
+pub use rate_tracker::{RateTracker, RateTrackerStats};
+pub use rates::{estimate_rates, region_rates, RegionEstimates};
 pub use upper::Upper;

@@ -93,10 +93,22 @@ impl DemandOracle {
     /// Expected new riders per region during `[now_ms, now_ms + tc_ms)` of
     /// the simulated day — slot counts (real or forecast) scaled by each
     /// slot's overlap with the window. Windows are truncated at the end of
-    /// the day.
+    /// the day. Allocates the output; the dispatch hot path uses
+    /// [`DemandOracle::upcoming_riders_into`] with a reused buffer.
     pub fn upcoming_riders(&self, now_ms: u64, tc_ms: u64) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.upcoming_riders_into(now_ms, tc_ms, &mut out);
+        out
+    }
+
+    /// Like [`DemandOracle::upcoming_riders`], filling a caller-owned
+    /// buffer (cleared and resized to the region count) so the per-batch
+    /// call allocates nothing: slot frames are accumulated in place with
+    /// the scalar overlap weights — no per-slot frame copies.
+    pub fn upcoming_riders_into(&self, now_ms: u64, tc_ms: u64, out: &mut Vec<f64>) {
         let regions = self.regions();
-        let mut out = vec![0.0; regions];
+        out.clear();
+        out.resize(regions, 0.0);
         let spd = match self {
             DemandOracle::Real { series, .. } | DemandOracle::Predicted { series, .. } => {
                 series.slots_per_day()
@@ -104,7 +116,7 @@ impl DemandOracle {
         };
         let end_ms = (now_ms + tc_ms).min(spd as u64 * SLOT_MS);
         if now_ms >= end_ms {
-            return out;
+            return;
         }
         let s0 = (now_ms / SLOT_MS) as usize;
         let s_last = ((end_ms - 1) / SLOT_MS) as usize;
@@ -112,20 +124,22 @@ impl DemandOracle {
             let slot_start = s as u64 * SLOT_MS;
             let slot_end = slot_start + SLOT_MS;
             let overlap = (end_ms.min(slot_end) - now_ms.max(slot_start)) as f64 / SLOT_MS as f64;
-            let frame = self.slot_counts(s0, s);
-            for r in 0..regions {
-                out[r] += overlap * frame[r];
-            }
+            self.with_slot_counts(s0, s, |frame| {
+                for (o, &v) in out.iter_mut().zip(frame) {
+                    *o += overlap * v;
+                }
+            });
         }
-        out
     }
 
     /// Per-region counts for `slot`, given the current slot is
     /// `base_slot`: realized values for the real oracle, chained forecasts
-    /// for the predicted one.
-    fn slot_counts(&self, base_slot: usize, slot: usize) -> Vec<f64> {
+    /// for the predicted one. The frame is *borrowed* — straight from the
+    /// series for the real oracle, from the forecast cache for the
+    /// predicted one — so no per-slot `Vec` is cloned on this path.
+    fn with_slot_counts<R>(&self, base_slot: usize, slot: usize, f: impl FnOnce(&[f64]) -> R) -> R {
         match self {
-            DemandOracle::Real { series, day } => series.frame(*day, slot).to_vec(),
+            DemandOracle::Real { series, day } => f(series.frame(*day, slot)),
             DemandOracle::Predicted {
                 predictor,
                 series,
@@ -133,30 +147,8 @@ impl DemandOracle {
                 cache,
             } => {
                 let mut cache = cache.borrow_mut();
-                if cache.base_slot != Some(base_slot) {
-                    cache.base_slot = Some(base_slot);
-                    cache.frames.clear();
-                    // Restore the realized past into the scratch series.
-                    let scratch = cache.scratch.get_or_insert_with(|| series.clone());
-                    for s in 0..series.slots_per_day() {
-                        for r in 0..series.regions() {
-                            scratch.set(*day, s, r, series.get(*day, s, r));
-                        }
-                    }
-                }
-                let offset = slot - base_slot;
-                while cache.frames.len() <= offset {
-                    let s = base_slot + cache.frames.len();
-                    // Split borrow: take scratch out, predict, put back.
-                    let mut scratch = cache.scratch.take().expect("scratch initialized");
-                    let frame = predictor.predict(&scratch, *day, s);
-                    for (r, &v) in frame.iter().enumerate() {
-                        scratch.set(*day, s, r, v);
-                    }
-                    cache.scratch = Some(scratch);
-                    cache.frames.push(frame);
-                }
-                cache.frames[offset].clone()
+                cache.ensure(predictor.as_ref(), series, *day, base_slot, slot);
+                f(&cache.frames[slot - base_slot])
             }
         }
     }
@@ -170,7 +162,57 @@ impl DemandOracle {
                 series.slots_per_day()
             }
         };
-        (0..spd).map(|s| self.slot_counts(0, s)).collect()
+        (0..spd)
+            .map(|s| self.with_slot_counts(0, s, |frame| frame.to_vec()))
+            .collect()
+    }
+}
+
+impl ForecastCache {
+    /// Makes `frames[slot - base_slot]` available: on a base-slot change
+    /// the scratch series is re-synchronized with the realized series and
+    /// the chain restarted, then the chain is extended up to `slot`.
+    ///
+    /// Re-synchronizing only rewrites the slots the *previous* chain
+    /// overwrote with its own predictions — `[prev_base, prev_base +
+    /// frames.len())` — instead of the whole day: every other slot of the
+    /// scratch still holds its realized value, so an O(chain length ×
+    /// regions) restore replaces the old O(slots × regions) full-day
+    /// rewrite on every 30-simulated-minute base advance.
+    fn ensure(
+        &mut self,
+        predictor: &(dyn Predictor + Send),
+        series: &DemandSeries,
+        day: usize,
+        base_slot: usize,
+        slot: usize,
+    ) {
+        if self.base_slot != Some(base_slot) {
+            let scratch = self.scratch.get_or_insert_with(|| series.clone());
+            if let Some(prev_base) = self.base_slot {
+                let dirtied =
+                    prev_base..(prev_base + self.frames.len()).min(series.slots_per_day());
+                for s in dirtied {
+                    for r in 0..series.regions() {
+                        scratch.set(day, s, r, series.get(day, s, r));
+                    }
+                }
+            }
+            self.base_slot = Some(base_slot);
+            self.frames.clear();
+        }
+        let offset = slot - base_slot;
+        while self.frames.len() <= offset {
+            let s = base_slot + self.frames.len();
+            // Split borrow: take scratch out, predict, put back.
+            let mut scratch = self.scratch.take().expect("scratch initialized");
+            let frame = predictor.predict(&scratch, day, s);
+            for (r, &v) in frame.iter().enumerate() {
+                scratch.set(day, s, r, v);
+            }
+            self.scratch = Some(scratch);
+            self.frames.push(frame);
+        }
     }
 }
 
@@ -253,6 +295,49 @@ mod tests {
         let w1 = o1.upcoming_riders(SLOT_MS, 3 * SLOT_MS);
         let w2 = o2.upcoming_riders(SLOT_MS, 3 * SLOT_MS);
         assert_eq!(w1, w2, "forecast leaked realized future values");
+    }
+
+    #[test]
+    fn partial_scratch_restore_matches_a_fresh_oracle() {
+        // The forecast cache only restores the slots the previous chain
+        // dirtied when its base slot moves. Walking the day forward —
+        // and jumping back to slot 0 as POLAR's full-day view does —
+        // must therefore produce exactly what a freshly built oracle
+        // produces at every base.
+        let s = series();
+        let mut ha = HistoricalAverage;
+        use mrvd_prediction::Predictor as _;
+        ha.fit(&s, 2);
+        let walked = DemandOracle::predicted(Box::new(HistoricalAverage), s.clone(), 2);
+        let windows = [
+            (0, 2 * SLOT_MS),            // base 0, chain of 2
+            (SLOT_MS, 3 * SLOT_MS),      // base 1, chain to the day end
+            (0, 4 * SLOT_MS),            // back to base 0, full chain
+            (2 * SLOT_MS, SLOT_MS),      // base 2
+            (3 * SLOT_MS, 10 * SLOT_MS), // base 3, truncated window
+        ];
+        for (now, tc) in windows {
+            let fresh = DemandOracle::predicted(Box::new(HistoricalAverage), s.clone(), 2);
+            assert_eq!(
+                walked.upcoming_riders(now, tc),
+                fresh.upcoming_riders(now, tc),
+                "stale scratch at now={now}"
+            );
+        }
+        // The full-day view (base 0) after a mid-day base is also clean.
+        let fresh = DemandOracle::predicted(Box::new(HistoricalAverage), s.clone(), 2);
+        assert_eq!(walked.full_day_forecast(), fresh.full_day_forecast());
+    }
+
+    #[test]
+    fn upcoming_riders_into_reuses_the_buffer() {
+        let o = DemandOracle::real(series(), 2);
+        let mut buf = vec![99.0; 7]; // stale content and wrong size
+        o.upcoming_riders_into(SLOT_MS, SLOT_MS, &mut buf);
+        assert_eq!(buf, o.upcoming_riders(SLOT_MS, SLOT_MS));
+        // An empty window yields zeros, not stale values.
+        o.upcoming_riders_into(SLOT_MS, 0, &mut buf);
+        assert_eq!(buf, vec![0.0, 0.0]);
     }
 
     #[test]

@@ -275,6 +275,7 @@ mod tests {
             travel: &travel,
             grid: &grid,
             avail_index: None,
+            region_counts: None,
         };
         let mut polar = Polar::new(PolarConfig::default(), &oracle(&grid), &grid, 1);
         let out = polar.assign(&ctx);

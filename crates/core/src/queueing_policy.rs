@@ -29,7 +29,8 @@ use mrvd_sim::{Assignment, BatchContext, DispatchPolicy};
 use crate::candidates::{valid_candidates_with, CandidateScratch};
 use crate::config::DispatchConfig;
 use crate::oracle::DemandOracle;
-use crate::rates::{estimate_rates, et_for, idle_ratio};
+use crate::rate_tracker::{RateTracker, RateTrackerStats};
+use crate::rates::{estimate_rates, idle_ratio};
 
 /// Whether to refine the greedy result with local search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +60,13 @@ pub struct QueueingPolicy {
     mode: SearchMode,
     rule: PriorityRule,
     scratch: CandidateScratch,
+    /// Incremental rate state, reused across batches (the per-batch
+    /// λ/μ/K/ET buffers live here — nothing is cloned per batch).
+    tracker: RateTracker,
+    /// Reused buffer for the oracle's `|R̂_k|` window counts.
+    upcoming: Vec<f64>,
+    /// Reused per-region version stamps for the lazy greedy heap.
+    version: Vec<u32>,
 }
 
 impl QueueingPolicy {
@@ -79,6 +87,9 @@ impl QueueingPolicy {
             mode,
             rule,
             scratch: CandidateScratch::new(),
+            tracker: RateTracker::new(),
+            upcoming: Vec::new(),
+            version: Vec::new(),
         }
     }
 
@@ -107,6 +118,13 @@ impl QueueingPolicy {
             PriorityRule::IdleRatio => idle_ratio(cost_s, et_s),
             PriorityRule::TotalTime => cost_s + et_s,
         }
+    }
+
+    /// The rate tracker's lifetime counters — how many batches ran off
+    /// the engine's live counts and how many idle-time solves the lazy
+    /// path actually performed (vs. one per region per batch eagerly).
+    pub fn rate_stats(&self) -> RateTrackerStats {
+        self.tracker.stats()
     }
 }
 
@@ -150,15 +168,20 @@ impl DispatchPolicy for QueueingPolicy {
         if n_riders == 0 || n_drivers == 0 {
             return Vec::new();
         }
-        let tc_s = self.cfg.tc_s();
-        // Algorithm 1, lines 3–6: region state and rates.
-        let upcoming = self.oracle.upcoming_riders(ctx.now_ms, self.cfg.tc_ms);
-        let est = estimate_rates(ctx, &upcoming, &self.cfg);
-        let lambda = est.lambda.clone();
-        let mut mu = est.mu.clone();
-        let mut cap = est.capacity_k.clone();
-        let mut et = est.expected_idle_times(&self.cfg);
-        let mut version = vec![0u32; et.len()];
+        // Algorithm 1, lines 3–6: region state and rates — incremental
+        // counts and lazy idle times by default, the verbatim eager
+        // estimator under `reference_rates` (byte-identical outputs; the
+        // equivalence batteries pin it). Either way the per-batch state
+        // lives in tracker-owned buffers reused across batches.
+        self.oracle
+            .upcoming_riders_into(ctx.now_ms, self.cfg.tc_ms, &mut self.upcoming);
+        if self.cfg.reference_rates {
+            let est = estimate_rates(ctx, &self.upcoming, &self.cfg);
+            let ets = est.expected_idle_times(&self.cfg);
+            self.tracker.load_reference(&est, &ets);
+        } else {
+            self.tracker.begin_batch(ctx, &self.upcoming, &self.cfg);
+        }
 
         // Valid pairs (Algorithm 2, lines 3–5).
         let cands = valid_candidates_with(ctx, self.cfg.max_candidates, &mut self.scratch);
@@ -175,13 +198,21 @@ impl DispatchPolicy for QueueingPolicy {
 
         // Greedy selection with a lazy re-keyed heap (lines 7–12).
         // Entry: (key, pickup travel ms, rider idx, driver idx, dest version).
+        self.version.clear();
+        self.version.resize(ctx.grid.num_regions(), 0);
         type Entry = Reverse<(OrdF64, u64, usize, usize, u32)>;
         let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
         for (r, cand) in cands.pairs.iter().enumerate() {
+            if cand.is_empty() {
+                // No pair to key — and no reason to solve this
+                // destination's idle time.
+                continue;
+            }
             let dest = rider_dest[r];
-            let k = self.key(rider_cost[r], et[dest]);
+            let et = self.tracker.et(dest, &self.cfg);
+            let k = self.key(rider_cost[r], et);
             for &(d, pickup_ms) in cand {
-                heap.push(Reverse((OrdF64(k), pickup_ms, r, d, version[dest])));
+                heap.push(Reverse((OrdF64(k), pickup_ms, r, d, self.version[dest])));
             }
         }
         let mut rider_taken = vec![false; n_riders];
@@ -193,10 +224,11 @@ impl DispatchPolicy for QueueingPolicy {
                 continue;
             }
             let dest = rider_dest[r];
-            if ver != version[dest] {
+            if ver != self.version[dest] {
                 // Stale: re-key against the current expected idle time.
-                let k = self.key(rider_cost[r], et[dest]);
-                heap.push(Reverse((OrdF64(k), pickup_ms, r, d, version[dest])));
+                let et = self.tracker.et(dest, &self.cfg);
+                let k = self.key(rider_cost[r], et);
+                heap.push(Reverse((OrdF64(k), pickup_ms, r, d, self.version[dest])));
                 continue;
             }
             rider_taken[r] = true;
@@ -204,12 +236,8 @@ impl DispatchPolicy for QueueingPolicy {
             driver_of_rider[r] = d;
             rider_of_driver[d] = r;
             // Line 11: the driver will rejoin at the destination — bump μ.
-            mu[dest] += 1.0 / tc_s;
-            cap[dest] += 1;
-            if !self.cfg.uniform_et {
-                et[dest] = et_for(lambda[dest], mu[dest], cap[dest], self.cfg.beta, tc_s);
-            }
-            version[dest] = version[dest].wrapping_add(1);
+            self.tracker.bump_mu(dest, &self.cfg);
+            self.version[dest] = self.version[dest].wrapping_add(1);
         }
 
         // Local search refinement (Algorithm 3).
@@ -222,14 +250,16 @@ impl DispatchPolicy for QueueingPolicy {
                     if cur == usize::MAX {
                         continue;
                     }
-                    let cur_key = self.key(rider_cost[cur], et[rider_dest[cur]]);
+                    let cur_et = self.tracker.et(rider_dest[cur], &self.cfg);
+                    let cur_key = self.key(rider_cost[cur], cur_et);
                     // Best strict improvement among unassigned valid riders.
                     let mut best: Option<(usize, f64)> = None;
                     for &(r2, _) in &by_driver[d] {
                         if rider_taken[r2] {
                             continue;
                         }
-                        let k2 = self.key(rider_cost[r2], et[rider_dest[r2]]);
+                        let et2 = self.tracker.et(rider_dest[r2], &self.cfg);
+                        let k2 = self.key(rider_cost[r2], et2);
                         if k2 < cur_key - 1e-12 && best.is_none_or(|(_, bk)| k2 < bk) {
                             best = Some((r2, k2));
                         }
@@ -243,15 +273,8 @@ impl DispatchPolicy for QueueingPolicy {
                         driver_of_rider[r2] = d;
                         rider_of_driver[d] = r2;
                         let (from, to) = (rider_dest[cur], rider_dest[r2]);
-                        mu[from] -= 1.0 / tc_s;
-                        cap[from] = cap[from].saturating_sub(1);
-                        mu[to] += 1.0 / tc_s;
-                        cap[to] += 1;
-                        if !self.cfg.uniform_et {
-                            et[from] =
-                                et_for(lambda[from], mu[from], cap[from], self.cfg.beta, tc_s);
-                            et[to] = et_for(lambda[to], mu[to], cap[to], self.cfg.beta, tc_s);
-                        }
+                        self.tracker.unbump_mu(from, &self.cfg);
+                        self.tracker.bump_mu(to, &self.cfg);
                         changed = true;
                     }
                 }
@@ -267,7 +290,7 @@ impl DispatchPolicy for QueueingPolicy {
             .map(|r| Assignment {
                 rider: ctx.riders[r].id,
                 driver: ctx.drivers[driver_of_rider[r]].id,
-                estimated_idle_s: Some(et[rider_dest[r]]),
+                estimated_idle_s: Some(self.tracker.et(rider_dest[r], &self.cfg)),
             })
             .collect()
     }
@@ -276,6 +299,7 @@ impl DispatchPolicy for QueueingPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rates::et_for;
     use mrvd_demand::DemandSeries;
     use mrvd_sim::{AvailableDriver, DriverId, RiderId, WaitingRider};
     use mrvd_spatial::{ConstantSpeedModel, Grid, Point, TravelModel};
@@ -330,6 +354,7 @@ mod tests {
             travel,
             grid,
             avail_index: None,
+            region_counts: None,
         }
     }
 

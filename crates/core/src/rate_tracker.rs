@@ -1,0 +1,477 @@
+//! Incremental, lazy per-region rate estimation for the dispatch hot
+//! path.
+//!
+//! [`estimate_rates`](crate::rates::estimate_rates) rebuilds every
+//! per-region count from full rider/driver/busy scans and then solves the
+//! reneging queue for *every* region, every executed batch — even when one
+//! rider is waiting and a single destination region matters. The
+//! [`RateTracker`] replaces that on the hot path:
+//!
+//! * **Counts** come from the engine's live
+//!   [`mrvd_sim::RegionCounts`] ([`mrvd_sim::BatchContext::region_counts`])
+//!   when present — no scans; the rejoining-in-window count is two binary
+//!   searches per region over the engine's rejoin-time multisets. Without
+//!   live counts (hand-built contexts, the legacy reference loop) the
+//!   tracker falls back to the same scans as the reference estimator,
+//!   into buffers reused across batches.
+//! * **λ/μ/K** are derived through the shared [`region_rates`] formula,
+//!   so both paths are bit-identical to the reference by construction.
+//! * **Expected idle times** (the per-region queueing solve, Eqs.
+//!   10/13/16) are computed *lazily*: only for regions a policy actually
+//!   asks about — destinations of current candidate pairs plus regions
+//!   touched by the greedy/local-search μ-bumps — with an epoch stamp
+//!   invalidating the cache between batches.
+//!
+//! `estimate_rates` itself is kept verbatim as the reference path for
+//! differential testing (the same pattern as
+//! `RegionIndex::rebuild_reference` / `Simulator::run_scheduled_reference`);
+//! [`RateTracker::load_reference`] lets a policy run the reference
+//! estimator end-to-end while sharing the greedy machinery.
+
+use mrvd_sim::BatchContext;
+use mrvd_spatial::RegionId;
+
+use crate::config::DispatchConfig;
+use crate::rates::{et_for, region_rates, RegionEstimates};
+
+/// Lifetime counters of a [`RateTracker`], for benchmarks and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateTrackerStats {
+    /// Batches prepared ([`RateTracker::begin_batch`] +
+    /// [`RateTracker::load_reference`] calls).
+    pub batches: u64,
+    /// Batches whose counts came from the engine's live
+    /// [`mrvd_sim::RegionCounts`] instead of view scans.
+    pub live_batches: u64,
+    /// Expected-idle-time solves performed (lazy evaluations plus
+    /// μ-bump recomputations; eager reference loads count one solve per
+    /// region).
+    pub ets_computed: u64,
+}
+
+/// Incremental per-region rate state, owned by a policy and reused
+/// across batches (no per-batch allocations). See the module docs.
+#[derive(Debug, Default)]
+pub struct RateTracker {
+    waiting: Vec<u32>,
+    available: Vec<u32>,
+    rejoining: Vec<u32>,
+    lambda: Vec<f64>,
+    mu: Vec<f64>,
+    capacity_k: Vec<u64>,
+    et: Vec<f64>,
+    /// `et[k]` is valid for the current batch iff `et_epoch[k] == epoch`.
+    et_epoch: Vec<u64>,
+    epoch: u64,
+    batches: u64,
+    live_batches: u64,
+    ets_computed: u64,
+}
+
+impl RateTracker {
+    /// An empty tracker; the first batch sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn resize(&mut self, n: usize) {
+        if self.waiting.len() != n {
+            self.waiting.resize(n, 0);
+            self.available.resize(n, 0);
+            self.rejoining.resize(n, 0);
+            self.lambda.resize(n, 0.0);
+            self.mu.resize(n, 0.0);
+            self.capacity_k.resize(n, 0);
+            self.et.resize(n, 0.0);
+            self.et_epoch.resize(n, 0);
+        }
+        // A new epoch lazily invalidates every cached idle time.
+        self.epoch += 1;
+        self.batches += 1;
+    }
+
+    /// Prepares the tracker for one batch: per-region counts (live or
+    /// scanned) and λ/μ/K for every region; expected idle times stay
+    /// unevaluated until [`RateTracker::et`] asks for them.
+    ///
+    /// `upcoming[k]` is the oracle's `|R̂_k|` for `[now, now + t_c)`.
+    ///
+    /// # Panics
+    /// Panics if `upcoming` does not cover the grid's regions.
+    pub fn begin_batch(&mut self, ctx: &BatchContext<'_>, upcoming: &[f64], cfg: &DispatchConfig) {
+        let n = ctx.grid.num_regions();
+        assert_eq!(
+            upcoming.len(),
+            n,
+            "RateTracker::begin_batch: oracle regions != grid regions"
+        );
+        self.resize(n);
+        let window_end = ctx.now_ms + cfg.tc_ms;
+        // The live path requires counts consistent with the batch views —
+        // the contract `BatchContext::region_counts` documents and the
+        // engine maintains. The cheap totals check below catches grossly
+        // stale hand-built counts and falls back to the scans; per-region
+        // *placement* is not re-validated (that would reintroduce the
+        // very scans this path removes), so counts with matching totals
+        // but wrong regions are the provider's bug, like a misplaced
+        // `avail_index`.
+        let live = ctx.region_counts.filter(|rc| {
+            rc.num_regions() == n
+                && rc.totals() == (ctx.riders.len(), ctx.drivers.len(), ctx.busy.len())
+        });
+        if let Some(rc) = live {
+            self.live_batches += 1;
+            self.waiting.copy_from_slice(rc.waiting());
+            self.available.copy_from_slice(rc.available());
+            for (k, r) in self.rejoining.iter_mut().enumerate() {
+                *r = rc.rejoining_between(RegionId(k as u32), ctx.now_ms, window_end);
+            }
+        } else {
+            self.waiting.fill(0);
+            self.available.fill(0);
+            self.rejoining.fill(0);
+            for r in ctx.riders {
+                self.waiting[ctx.grid.region_of(r.pickup).idx()] += 1;
+            }
+            for d in ctx.drivers {
+                self.available[ctx.grid.region_of(d.pos).idx()] += 1;
+            }
+            for b in ctx.busy {
+                if b.dropoff_ms > ctx.now_ms && b.dropoff_ms < window_end {
+                    self.rejoining[ctx.grid.region_of(b.dropoff_pos).idx()] += 1;
+                }
+            }
+        }
+        let tc_s = cfg.tc_s();
+        for (k, &up) in upcoming.iter().enumerate() {
+            let (l, m, c) = region_rates(
+                self.waiting[k],
+                self.available[k],
+                self.rejoining[k],
+                up,
+                tc_s,
+            );
+            self.lambda[k] = l;
+            self.mu[k] = m;
+            self.capacity_k[k] = c;
+        }
+    }
+
+    /// Loads the *eager reference* estimates for one batch — the output
+    /// of the verbatim [`estimate_rates`](crate::rates::estimate_rates) /
+    /// [`RegionEstimates::expected_idle_times`] pair — so a policy can
+    /// run the reference rate path through the same greedy machinery
+    /// (differential testing; `DispatchConfig::reference_rates`).
+    pub fn load_reference(&mut self, est: &RegionEstimates, ets: &[f64]) {
+        let n = est.lambda.len();
+        assert_eq!(ets.len(), n, "RateTracker::load_reference: length mismatch");
+        self.resize(n);
+        self.waiting.copy_from_slice(&est.waiting);
+        self.available.copy_from_slice(&est.available);
+        self.rejoining.copy_from_slice(&est.rejoining);
+        self.lambda.copy_from_slice(&est.lambda);
+        self.mu.copy_from_slice(&est.mu);
+        self.capacity_k.copy_from_slice(&est.capacity_k);
+        self.et.copy_from_slice(ets);
+        self.et_epoch.fill(self.epoch);
+        self.ets_computed += n as u64;
+    }
+
+    /// The expected idle time of region `k` for the current batch,
+    /// computed (and cached) on first access — Eqs. 10/13/16, with the
+    /// infinite case clamped to `t_c` and the uniform-ET ablation mapped
+    /// to the constant `t_c / 2`, exactly as
+    /// [`RegionEstimates::expected_idle_times`].
+    pub fn et(&mut self, k: usize, cfg: &DispatchConfig) -> f64 {
+        let tc_s = cfg.tc_s();
+        if cfg.uniform_et {
+            return tc_s / 2.0;
+        }
+        if self.et_epoch[k] != self.epoch {
+            self.et[k] = et_for(
+                self.lambda[k],
+                self.mu[k],
+                self.capacity_k[k],
+                cfg.beta,
+                tc_s,
+            );
+            self.et_epoch[k] = self.epoch;
+            self.ets_computed += 1;
+        }
+        self.et[k]
+    }
+
+    /// Algorithm 2, line 11: one future rejoin moves into region `k` —
+    /// bump μ and the cap, and refresh the idle time the next selection
+    /// will read (unless the ablation silences it).
+    pub fn bump_mu(&mut self, k: usize, cfg: &DispatchConfig) {
+        let tc_s = cfg.tc_s();
+        self.mu[k] += 1.0 / tc_s;
+        self.capacity_k[k] += 1;
+        if !cfg.uniform_et {
+            self.et[k] = et_for(
+                self.lambda[k],
+                self.mu[k],
+                self.capacity_k[k],
+                cfg.beta,
+                tc_s,
+            );
+            self.et_epoch[k] = self.epoch;
+            self.ets_computed += 1;
+        }
+    }
+
+    /// Reverts one [`RateTracker::bump_mu`] on region `k` (a local-search
+    /// swap moving the rejoin elsewhere).
+    pub fn unbump_mu(&mut self, k: usize, cfg: &DispatchConfig) {
+        let tc_s = cfg.tc_s();
+        self.mu[k] -= 1.0 / tc_s;
+        self.capacity_k[k] = self.capacity_k[k].saturating_sub(1);
+        if !cfg.uniform_et {
+            self.et[k] = et_for(
+                self.lambda[k],
+                self.mu[k],
+                self.capacity_k[k],
+                cfg.beta,
+                tc_s,
+            );
+            self.et_epoch[k] = self.epoch;
+            self.ets_computed += 1;
+        }
+    }
+
+    /// Waiting riders `|R_k|` of the current batch.
+    pub fn waiting(&self) -> &[u32] {
+        &self.waiting
+    }
+
+    /// Available drivers `|D_k|` of the current batch.
+    pub fn available(&self) -> &[u32] {
+        &self.available
+    }
+
+    /// Rejoining-in-window drivers `|D̂_k|` of the current batch.
+    pub fn rejoining(&self) -> &[u32] {
+        &self.rejoining
+    }
+
+    /// λ(k) of the current batch (Eq. 18).
+    pub fn lambda(&self) -> &[f64] {
+        &self.lambda
+    }
+
+    /// μ(k) of the current batch (Eq. 19), including any bumps applied.
+    pub fn mu(&self) -> &[f64] {
+        &self.mu
+    }
+
+    /// The congestion cap `K` per region, including any bumps applied.
+    pub fn capacity_k(&self) -> &[u64] {
+        &self.capacity_k
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> RateTrackerStats {
+        RateTrackerStats {
+            batches: self.batches,
+            live_batches: self.live_batches,
+            ets_computed: self.ets_computed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rates::estimate_rates;
+    use mrvd_sim::{AvailableDriver, BusyDriver, DriverId, RegionCounts, RiderId, WaitingRider};
+    use mrvd_spatial::{ConstantSpeedModel, Grid, Point};
+
+    const P: Point = Point::new(-73.985, 40.755);
+    const Q: Point = Point::new(-73.80, 40.90);
+
+    fn rider(p: Point) -> WaitingRider {
+        WaitingRider {
+            id: RiderId(0),
+            pickup: p,
+            dropoff: p,
+            request_ms: 0,
+            deadline_ms: 600_000,
+        }
+    }
+
+    fn driver(p: Point) -> AvailableDriver {
+        AvailableDriver {
+            id: DriverId(0),
+            pos: p,
+            available_since_ms: 0,
+        }
+    }
+
+    fn busy(dropoff_ms: u64, p: Point) -> BusyDriver {
+        BusyDriver {
+            id: DriverId(9),
+            dropoff_ms,
+            dropoff_pos: p,
+        }
+    }
+
+    /// Live counts mirroring the given views, as the engine would hold.
+    fn counts_for(
+        grid: &Grid,
+        riders: &[WaitingRider],
+        drivers: &[AvailableDriver],
+        busys: &[BusyDriver],
+    ) -> RegionCounts {
+        let mut c = RegionCounts::new(grid.num_regions());
+        for r in riders {
+            c.add_waiting(grid.region_of(r.pickup));
+        }
+        for d in drivers {
+            c.add_available(grid.region_of(d.pos));
+        }
+        for b in busys {
+            c.add_rejoining(grid.region_of(b.dropoff_pos), b.dropoff_ms);
+        }
+        c
+    }
+
+    fn ctx<'a>(
+        grid: &'a Grid,
+        travel: &'a ConstantSpeedModel,
+        riders: &'a [WaitingRider],
+        drivers: &'a [AvailableDriver],
+        busys: &'a [BusyDriver],
+        counts: Option<&'a RegionCounts>,
+    ) -> BatchContext<'a> {
+        BatchContext {
+            now_ms: 0,
+            riders,
+            drivers,
+            busy: busys,
+            travel,
+            grid,
+            avail_index: None,
+            region_counts: counts,
+        }
+    }
+
+    #[test]
+    fn live_and_scan_paths_match_the_reference_estimator() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::default();
+        let cfg = DispatchConfig::default();
+        let riders = [rider(P), rider(P), rider(Q)];
+        let drivers = [driver(P), driver(Q), driver(Q)];
+        let busys = [busy(100_000, P), busy(2_000_000, Q), busy(5_000, Q)];
+        let counts = counts_for(&grid, &riders, &drivers, &busys);
+        let mut upcoming = vec![0.0; grid.num_regions()];
+        upcoming[grid.region_of(P).idx()] = 12.0;
+
+        let live_ctx = ctx(&grid, &travel, &riders, &drivers, &busys, Some(&counts));
+        let scan_ctx = ctx(&grid, &travel, &riders, &drivers, &busys, None);
+        let est = estimate_rates(&scan_ctx, &upcoming, &cfg);
+        let ets = est.expected_idle_times(&cfg);
+
+        for c in [&live_ctx, &scan_ctx] {
+            let mut t = RateTracker::new();
+            t.begin_batch(c, &upcoming, &cfg);
+            assert_eq!(t.waiting(), &est.waiting[..]);
+            assert_eq!(t.available(), &est.available[..]);
+            assert_eq!(t.rejoining(), &est.rejoining[..]);
+            for (k, et_eager) in ets.iter().enumerate() {
+                assert_eq!(t.lambda()[k].to_bits(), est.lambda[k].to_bits());
+                assert_eq!(t.mu()[k].to_bits(), est.mu[k].to_bits());
+                assert_eq!(t.capacity_k()[k], est.capacity_k[k]);
+                assert_eq!(t.et(k, &cfg).to_bits(), et_eager.to_bits(), "region {k}");
+            }
+        }
+        let mut t = RateTracker::new();
+        t.begin_batch(&live_ctx, &upcoming, &cfg);
+        assert_eq!(t.stats().live_batches, 1);
+        let mut t = RateTracker::new();
+        t.begin_batch(&scan_ctx, &upcoming, &cfg);
+        assert_eq!(t.stats().live_batches, 0);
+    }
+
+    #[test]
+    fn et_is_lazy_and_cached_within_a_batch() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::default();
+        let cfg = DispatchConfig::default();
+        let riders = [rider(P)];
+        let upcoming = vec![3.0; grid.num_regions()];
+        let c = ctx(&grid, &travel, &riders, &[], &[], None);
+        let mut t = RateTracker::new();
+        t.begin_batch(&c, &upcoming, &cfg);
+        assert_eq!(t.stats().ets_computed, 0, "nothing evaluated yet");
+        let k = grid.region_of(P).idx();
+        let a = t.et(k, &cfg);
+        assert_eq!(t.stats().ets_computed, 1);
+        let b = t.et(k, &cfg);
+        assert_eq!(t.stats().ets_computed, 1, "second read hits the cache");
+        assert_eq!(a.to_bits(), b.to_bits());
+        // A new batch invalidates the cache lazily.
+        t.begin_batch(&c, &upcoming, &cfg);
+        t.et(k, &cfg);
+        assert_eq!(t.stats().ets_computed, 2);
+    }
+
+    #[test]
+    fn bump_and_unbump_round_trip_matches_fresh_solve() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::default();
+        let cfg = DispatchConfig::default();
+        let riders = [rider(P), rider(P)];
+        let drivers = [driver(P)];
+        let mut upcoming = vec![0.0; grid.num_regions()];
+        let k = grid.region_of(P).idx();
+        upcoming[k] = 6.0;
+        let c = ctx(&grid, &travel, &riders, &drivers, &[], None);
+        let mut t = RateTracker::new();
+        t.begin_batch(&c, &upcoming, &cfg);
+        let tc_s = cfg.tc_s();
+        t.bump_mu(k, &cfg);
+        let bumped = t.et(k, &cfg);
+        let expect = et_for(t.lambda()[k], t.mu()[k], t.capacity_k()[k], cfg.beta, tc_s);
+        assert_eq!(bumped.to_bits(), expect.to_bits());
+        t.unbump_mu(k, &cfg);
+        assert_eq!(t.capacity_k()[k], 1);
+    }
+
+    #[test]
+    fn inconsistent_live_counts_fall_back_to_scans() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::default();
+        let cfg = DispatchConfig::default();
+        let riders = [rider(P)];
+        let drivers = [driver(P), driver(Q)];
+        // Counts describing a different world (one driver missing).
+        let stale = counts_for(&grid, &riders, &drivers[..1], &[]);
+        let upcoming = vec![0.0; grid.num_regions()];
+        let c = ctx(&grid, &travel, &riders, &drivers, &[], Some(&stale));
+        let mut t = RateTracker::new();
+        t.begin_batch(&c, &upcoming, &cfg);
+        assert_eq!(t.stats().live_batches, 0, "stale counts must be ignored");
+        assert_eq!(t.available()[grid.region_of(Q).idx()], 1);
+    }
+
+    #[test]
+    fn uniform_et_ablation_is_flat_and_free() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::default();
+        let cfg = DispatchConfig {
+            uniform_et: true,
+            ..DispatchConfig::default()
+        };
+        let riders = [rider(P)];
+        let upcoming = vec![40.0; grid.num_regions()];
+        let c = ctx(&grid, &travel, &riders, &[], &[], None);
+        let mut t = RateTracker::new();
+        t.begin_batch(&c, &upcoming, &cfg);
+        assert_eq!(t.et(3, &cfg), cfg.tc_s() / 2.0);
+        t.bump_mu(3, &cfg);
+        assert_eq!(t.et(3, &cfg), cfg.tc_s() / 2.0);
+        assert_eq!(t.stats().ets_computed, 0, "the ablation never solves");
+    }
+}

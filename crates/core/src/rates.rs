@@ -52,7 +52,12 @@ pub fn estimate_rates(
     }
     let window_end = ctx.now_ms + cfg.tc_ms;
     for b in ctx.busy {
-        if b.dropoff_ms >= ctx.now_ms && b.dropoff_ms < window_end {
+        // Strictly inside the open window (now, now + t_c): a driver
+        // dropping off exactly at `now` has already been moved to the
+        // available set by the engine and must not be counted twice in
+        // `capacity_k`/μ, and one dropping off exactly at the window end
+        // rejoins only once the window has closed.
+        if b.dropoff_ms > ctx.now_ms && b.dropoff_ms < window_end {
             rejoining[ctx.grid.region_of(b.dropoff_pos).idx()] += 1;
         }
     }
@@ -60,23 +65,16 @@ pub fn estimate_rates(
     let mut mu = vec![0.0; n];
     let mut capacity_k = vec![0u64; n];
     for k in 0..n {
-        let (r_k, d_k) = (waiting[k] as f64, available[k] as f64);
-        let r_hat = upcoming_riders[k].max(0.0);
-        let d_hat = rejoining[k] as f64;
-        // Eq. 18: the backlog joins the arrival stream when riders exceed
-        // drivers.
-        lambda[k] = if r_k <= d_k {
-            r_hat / tc_s
-        } else {
-            (r_hat + r_k - d_k) / tc_s
-        };
-        // Eq. 19: the driver surplus joins the rejoin stream otherwise.
-        mu[k] = if r_k <= d_k {
-            (d_hat + d_k - r_k) / tc_s
-        } else {
-            d_hat / tc_s
-        };
-        capacity_k[k] = (available[k] + rejoining[k]) as u64;
+        let (l, m, c) = region_rates(
+            waiting[k],
+            available[k],
+            rejoining[k],
+            upcoming_riders[k],
+            tc_s,
+        );
+        lambda[k] = l;
+        mu[k] = m;
+        capacity_k[k] = c;
     }
     RegionEstimates {
         waiting,
@@ -106,6 +104,32 @@ impl RegionEstimates {
             .map(|((&l, &m), &k)| et_for(l, m, k, cfg.beta, tc_s))
             .collect()
     }
+}
+
+/// λ(k), μ(k) and the congestion cap `K` for one region from its counts
+/// (Eqs. 18–19) — one shared implementation, so the eager reference
+/// estimator above and the incremental [`crate::RateTracker`] are
+/// bit-identical by construction.
+#[inline]
+pub fn region_rates(
+    waiting: u32,
+    available: u32,
+    rejoining: u32,
+    upcoming: f64,
+    tc_s: f64,
+) -> (f64, f64, u64) {
+    let (r_k, d_k) = (waiting as f64, available as f64);
+    let r_hat = upcoming.max(0.0);
+    let d_hat = rejoining as f64;
+    // Eq. 18: the backlog joins the arrival stream when riders exceed
+    // drivers; Eq. 19: the driver surplus joins the rejoin stream
+    // otherwise.
+    let (lambda, mu) = if r_k <= d_k {
+        (r_hat / tc_s, (d_hat + d_k - r_k) / tc_s)
+    } else {
+        ((r_hat + r_k - d_k) / tc_s, d_hat / tc_s)
+    };
+    (lambda, mu, (available + rejoining) as u64)
 }
 
 /// Expected idle time for one region; shared by the batch-level table and
@@ -155,6 +179,7 @@ mod tests {
             travel,
             grid,
             avail_index: None,
+            region_counts: None,
         }
     }
 
@@ -238,6 +263,48 @@ mod tests {
         let ctx = ctx_fixture(&grid, &travel, &[], &[], &busy);
         let est = estimate_rates(&ctx, &vec![0.0; grid.num_regions()], &cfg);
         assert_eq!(est.rejoining[grid.region_of(p).idx()], 0);
+    }
+
+    #[test]
+    fn dropoff_exactly_on_the_batch_slot_is_not_double_counted() {
+        // A dropoff landing exactly at the batch timestamp means the
+        // engine has already moved that driver to the available set; a
+        // stale busy entry at `now` (possible only in hand-built views)
+        // must not be counted again in μ/`capacity_k`. The window end is
+        // likewise exclusive.
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::default();
+        let p = Point::new(-73.985, 40.755);
+        let k = grid.region_of(p).idx();
+        let cfg = DispatchConfig {
+            tc_ms: 300_000,
+            ..DispatchConfig::default()
+        };
+        let now = 600_000;
+        let drivers = [driver(p)]; // the just-dropped-off driver, available
+        let busy = [
+            BusyDriver {
+                id: DriverId(1),
+                dropoff_ms: now, // exactly the batch slot: already available
+                dropoff_pos: p,
+            },
+            BusyDriver {
+                id: DriverId(2),
+                dropoff_ms: now + cfg.tc_ms, // exactly the window end
+                dropoff_pos: p,
+            },
+            BusyDriver {
+                id: DriverId(3),
+                dropoff_ms: now + 1, // strictly inside
+                dropoff_pos: p,
+            },
+        ];
+        let mut ctx = ctx_fixture(&grid, &travel, &[], &drivers, &busy);
+        ctx.now_ms = now;
+        let est = estimate_rates(&ctx, &vec![0.0; grid.num_regions()], &cfg);
+        assert_eq!(est.rejoining[k], 1, "only the strictly-inside dropoff");
+        assert_eq!(est.capacity_k[k], 2, "1 available + 1 rejoining");
+        assert!((est.mu[k] - 2.0 / cfg.tc_s()).abs() < 1e-12);
     }
 
     #[test]

@@ -90,6 +90,7 @@ mod tests {
             travel: &travel,
             grid: &grid,
             avail_index: None,
+            region_counts: None,
         };
         let out = Upper.assign(&ctx);
         assert_eq!(out.len(), 2);

@@ -23,7 +23,8 @@
 //!   fig13     served orders: SHORT vs baselines over four sweeps
 //!   ablation  destination-aware ET vs uniform ET
 //!   scenarios parallel policy sweep over the built-in workload scenarios
-//!   all       everything above except scenarios
+//!   delta     Δ-sensitivity sweep (3 s → 100 ms) over the built-ins
+//!   all       everything above except scenarios and delta
 //! ```
 //!
 //! `--scale 1.0` reproduces the paper's 282,255-order day with 1K–8K
@@ -31,16 +32,19 @@
 //! tables print scale-normalized values (divided by the scale) next to
 //! the paper's numbers where the paper reports exact values. The
 //! `scenarios` command runs the built-in scenario specs exactly as
-//! declared, so `--scale`/`--instances` do not apply to it.
+//! declared, so `--scale`/`--instances` do not apply to it; `delta`
+//! scales the built-ins by `--scale` (sub-second Δ multiplies the batch
+//! grid 30-fold, so its default run is deliberately smaller).
 
 mod common;
+mod delta;
 mod figures;
 mod scenarios;
 mod tables;
 
 use common::{Options, World};
 
-const COMMANDS: [&str; 17] = [
+const COMMANDS: [&str; 18] = [
     "table3",
     "table4",
     "table6",
@@ -57,6 +61,7 @@ const COMMANDS: [&str; 17] = [
     "fig13",
     "ablation",
     "scenarios",
+    "delta",
     "all",
 ];
 
@@ -143,10 +148,13 @@ fn main() {
         opts.scale, opts.instances, opts.seed, opts.threads
     );
     let t0 = std::time::Instant::now();
-    if cmd == "scenarios" {
-        // Scenario sweeps run the declarative specs directly — no world
-        // (history generation + model training) is needed.
-        scenarios::scenarios(&opts);
+    if cmd == "scenarios" || cmd == "delta" {
+        // Scenario and Δ sweeps run the declarative specs directly — no
+        // world (history generation + model training) is needed.
+        match cmd.as_str() {
+            "scenarios" => scenarios::scenarios(&opts),
+            _ => delta::delta(&opts),
+        }
         println!("\n# done in {:.1}s", t0.elapsed().as_secs_f64());
         return;
     }
@@ -263,5 +271,14 @@ mod tests {
             parse_cmdline(&args(&["scenarios"])),
             Ok(Parsed::Run(cmd, _)) if cmd == "scenarios"
         ));
+    }
+
+    #[test]
+    fn delta_is_a_known_command_with_scale() {
+        let Ok(Parsed::Run(cmd, opts)) = parse_cmdline(&args(&["delta", "--scale", "0.1"])) else {
+            panic!("expected a run");
+        };
+        assert_eq!(cmd, "delta");
+        assert_eq!(opts.scale, 0.1);
     }
 }

@@ -105,6 +105,8 @@ pub fn scenarios(opts: &Options) {
                 "index_ops": c.index_ops,
                 "index_regions_dirtied": c.index_regions_dirtied,
                 "index_rebuilds_avoided": c.index_rebuilds_avoided,
+                "counts_ops": c.counts_ops,
+                "counts_regions_dirtied": c.counts_regions_dirtied,
                 "wall_s": c.wall_s,
             })
         })
@@ -128,6 +130,9 @@ pub fn scenarios(opts: &Options) {
                 cells.iter().map(|c| c.index_regions_dirtied).sum::<usize>(),
             "total_index_rebuilds_avoided":
                 cells.iter().map(|c| c.index_rebuilds_avoided).sum::<usize>(),
+            "total_counts_ops": cells.iter().map(|c| c.counts_ops).sum::<usize>(),
+            "total_counts_regions_dirtied":
+                cells.iter().map(|c| c.counts_regions_dirtied).sum::<usize>(),
             "cells": engine_cells,
         }),
     );

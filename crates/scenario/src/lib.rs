@@ -40,6 +40,9 @@ pub use builtins::{
     weekend_lull,
 };
 pub use spec::{DriverPhase, HotspotInjection, ScenarioSpec, SimOverrides, SurgeWindow};
-pub use sweep::{run_scenario, run_scenario_reference, sweep, SweepCell, SweepPolicy};
+pub use sweep::{
+    run_scenario, run_scenario_reference, run_scenario_with_delta, sweep, sweep_deltas, SweepCell,
+    SweepPolicy,
+};
 pub use travel::SlowdownModel;
 pub use workload::{ScenarioShaper, ScenarioWorkload};

@@ -51,17 +51,28 @@ impl SweepPolicy {
 
     /// Builds the policy against one materialized workload.
     pub fn build(&self, workload: &ScenarioWorkload) -> Box<dyn DispatchPolicy> {
+        self.build_with(workload, false)
+    }
+
+    /// Like [`SweepPolicy::build`], selecting the queueing policies' rate
+    /// path: `reference_rates = true` runs the verbatim eager
+    /// `estimate_rates` reference instead of the incremental lazy
+    /// `RateTracker` (baselines are unaffected). The equivalence battery
+    /// uses it to pin the two paths byte-identical.
+    pub fn build_with(
+        &self,
+        workload: &ScenarioWorkload,
+        reference_rates: bool,
+    ) -> Box<dyn DispatchPolicy> {
         let oracle = || DemandOracle::real(workload.series.clone(), 0);
+        let cfg = || DispatchConfig {
+            reference_rates,
+            ..DispatchConfig::default()
+        };
         match self {
-            SweepPolicy::IrgReal => {
-                Box::new(QueueingPolicy::irg(DispatchConfig::default(), oracle()))
-            }
-            SweepPolicy::LsReal => {
-                Box::new(QueueingPolicy::ls(DispatchConfig::default(), oracle()))
-            }
-            SweepPolicy::ShortReal => {
-                Box::new(QueueingPolicy::short(DispatchConfig::default(), oracle()))
-            }
+            SweepPolicy::IrgReal => Box::new(QueueingPolicy::irg(cfg(), oracle())),
+            SweepPolicy::LsReal => Box::new(QueueingPolicy::ls(cfg(), oracle())),
+            SweepPolicy::ShortReal => Box::new(QueueingPolicy::short(cfg(), oracle())),
             SweepPolicy::Ltg => Box::new(Ltg::default()),
             SweepPolicy::Near => Box::new(Near::default()),
             SweepPolicy::Rand => Box::new(Rand::new(workload.spec.seed ^ 0x5EED_1E55)),
@@ -71,11 +82,22 @@ impl SweepPolicy {
 
 /// Runs one policy over one materialized scenario on the event core.
 pub fn run_scenario(workload: &ScenarioWorkload, policy: SweepPolicy) -> SimResult {
-    let sim = Simulator::new(
-        workload.sim_config.clone(),
-        &workload.travel,
-        &workload.grid,
-    );
+    run_scenario_with_delta(workload, policy, None)
+}
+
+/// [`run_scenario`] with an optional batch-interval override — the
+/// Δ-sensitivity sweeps rerun one materialized workload at many Δ values
+/// without regenerating trips (the workload does not depend on Δ).
+pub fn run_scenario_with_delta(
+    workload: &ScenarioWorkload,
+    policy: SweepPolicy,
+    delta_ms: Option<u64>,
+) -> SimResult {
+    let mut config = workload.sim_config.clone();
+    if let Some(delta) = delta_ms {
+        config.batch_interval_ms = delta;
+    }
+    let sim = Simulator::new(config, &workload.travel, &workload.grid);
     let mut p = policy.build(workload);
     sim.run_scheduled(
         &workload.trips,
@@ -88,14 +110,16 @@ pub fn run_scenario(workload: &ScenarioWorkload, policy: SweepPolicy) -> SimResu
 /// Runs one policy over one materialized scenario on the legacy per-Δ
 /// batch loop ([`Simulator::run_scheduled_reference`]) — the
 /// differential baseline the engine-equivalence battery compares
-/// [`run_scenario`] against.
+/// [`run_scenario`] against. The queueing policies also run their
+/// *reference* rate path (`reference_rates = true`), so the differential
+/// covers both the engine and the rate estimator.
 pub fn run_scenario_reference(workload: &ScenarioWorkload, policy: SweepPolicy) -> SimResult {
     let sim = Simulator::new(
         workload.sim_config.clone(),
         &workload.travel,
         &workload.grid,
     );
-    let mut p = policy.build(workload);
+    let mut p = policy.build_with(workload, true);
     sim.run_scheduled_reference(
         &workload.trips,
         &workload.driver_pool,
@@ -111,6 +135,9 @@ pub struct SweepCell {
     pub scenario: String,
     /// Policy label.
     pub policy: &'static str,
+    /// Batch interval Δ the cell ran at, ms (the scenario's own unless a
+    /// Δ-sweep overrode it).
+    pub delta_ms: u64,
     /// Riders that entered the platform.
     pub total_riders: usize,
     /// Served riders.
@@ -121,8 +148,12 @@ pub struct SweepCell {
     pub service_rate: f64,
     /// Total revenue (seconds of ride time at α = 1).
     pub total_revenue: f64,
-    /// Mean wall-clock seconds per batch inside the policy.
+    /// Mean wall-clock seconds per batch *slot* inside the policy
+    /// (skipped slots charged zero; [`mrvd_sim::SimResult::mean_batch_time_s`]).
     pub batch_time_s: f64,
+    /// Mean wall-clock seconds per *executed* batch inside the policy
+    /// ([`mrvd_sim::SimResult::mean_executed_batch_time_s`]).
+    pub exec_batch_time_s: f64,
     /// Wall-clock seconds for the whole cell (simulation + policy).
     pub wall_s: f64,
     /// Batch slots in the horizon (`⌈horizon / Δ⌉`).
@@ -146,6 +177,47 @@ pub struct SweepCell {
     /// from-scratch candidate-index rebuild
     /// ([`mrvd_sim::SimResult::index_rebuilds_avoided`]).
     pub index_rebuilds_avoided: usize,
+    /// Mutations applied to the live per-region batch-state counts
+    /// ([`mrvd_sim::SimResult::counts_ops`]).
+    pub counts_ops: usize,
+    /// Regions whose live counts changed between consecutive executed
+    /// batches ([`mrvd_sim::SimResult::counts_regions_dirtied`]).
+    pub counts_regions_dirtied: usize,
+}
+
+impl SweepCell {
+    /// Builds a cell from one run's [`SimResult`] and wall-clock time.
+    fn from_result(
+        scenario: String,
+        policy: SweepPolicy,
+        result: &SimResult,
+        wall_s: f64,
+        delta_ms: u64,
+    ) -> Self {
+        SweepCell {
+            scenario,
+            policy: policy.label(),
+            delta_ms,
+            total_riders: result.total_riders,
+            served: result.served,
+            reneged: result.reneged,
+            service_rate: result.service_rate(),
+            total_revenue: result.total_revenue,
+            batch_time_s: result.mean_batch_time_s(),
+            exec_batch_time_s: result.mean_executed_batch_time_s(),
+            wall_s,
+            batches: result.batches,
+            ticks_executed: result.ticks_executed,
+            ticks_skipped: result.ticks_skipped(),
+            skip_rate: result.skip_rate(),
+            events_processed: result.events_processed,
+            index_ops: result.index_ops,
+            index_regions_dirtied: result.index_regions_dirtied,
+            index_rebuilds_avoided: result.index_rebuilds_avoided,
+            counts_ops: result.counts_ops,
+            counts_regions_dirtied: result.counts_regions_dirtied,
+        }
+    }
 }
 
 /// Sweeps `policies` × `specs` on `threads` workers. Each scenario is
@@ -163,25 +235,51 @@ pub fn sweep(specs: &[ScenarioSpec], policies: &[SweepPolicy], threads: usize) -
         let workload = &workloads_ref[w];
         let t0 = std::time::Instant::now();
         let result = run_scenario(workload, policy);
-        SweepCell {
-            scenario: workload.spec.name.clone(),
-            policy: policy.label(),
-            total_riders: result.total_riders,
-            served: result.served,
-            reneged: result.reneged,
-            service_rate: result.service_rate(),
-            total_revenue: result.total_revenue,
-            batch_time_s: result.mean_batch_time_s(),
-            wall_s: t0.elapsed().as_secs_f64(),
-            batches: result.batches,
-            ticks_executed: result.ticks_executed,
-            ticks_skipped: result.ticks_skipped(),
-            skip_rate: result.skip_rate(),
-            events_processed: result.events_processed,
-            index_ops: result.index_ops,
-            index_regions_dirtied: result.index_regions_dirtied,
-            index_rebuilds_avoided: result.index_rebuilds_avoided,
-        }
+        SweepCell::from_result(
+            workload.spec.name.clone(),
+            policy,
+            &result,
+            t0.elapsed().as_secs_f64(),
+            workload.sim_config.batch_interval_ms,
+        )
+    })
+}
+
+/// The Δ-sensitivity sweep (paper Fig. 8 territory, pushed sub-second):
+/// every `(scenario, policy, Δ)` cell reruns the *same* materialized
+/// workload — trips, fleet, deadlines and seeds do not depend on Δ — with
+/// the batch interval overridden, so differences across a row are purely
+/// batching effects. Cells are ordered scenario-major, then policy, then
+/// Δ in the given order; like [`sweep`], output order and every metric
+/// are independent of `threads`.
+pub fn sweep_deltas(
+    specs: &[ScenarioSpec],
+    policies: &[SweepPolicy],
+    deltas_ms: &[u64],
+    threads: usize,
+) -> Vec<SweepCell> {
+    assert!(deltas_ms.iter().all(|&d| d > 0), "Δ must be positive");
+    let workloads: Vec<ScenarioWorkload> =
+        parallel_map(specs.to_vec(), threads, |spec| spec.materialize());
+    let jobs: Vec<(usize, SweepPolicy, u64)> = (0..workloads.len())
+        .flat_map(|w| {
+            policies
+                .iter()
+                .flat_map(move |&p| deltas_ms.iter().map(move |&delta| (w, p, delta)))
+        })
+        .collect();
+    let workloads_ref = &workloads;
+    parallel_map(jobs, threads, |&(w, policy, delta)| {
+        let workload = &workloads_ref[w];
+        let t0 = std::time::Instant::now();
+        let result = run_scenario_with_delta(workload, policy, Some(delta));
+        SweepCell::from_result(
+            workload.spec.name.clone(),
+            policy,
+            &result,
+            t0.elapsed().as_secs_f64(),
+            delta,
+        )
     })
 }
 
@@ -234,6 +332,39 @@ mod tests {
             );
             assert!(c.index_ops > 0, "fleet seeding alone applies index ops");
             assert!(c.index_regions_dirtied <= c.index_ops);
+            assert!(c.counts_ops > 0, "fleet seeding alone applies count ops");
+            assert!(c.counts_regions_dirtied <= c.counts_ops);
+            assert_eq!(c.delta_ms, 60_000, "cell records the Δ it ran at");
+        }
+    }
+
+    #[test]
+    fn delta_sweep_reruns_one_workload_across_intervals() {
+        let mut spec = ScenarioSpec::plain("d", "", 600.0, 10);
+        spec.sim.batch_interval_ms = Some(60_000); // overridden per cell
+        let cells = sweep_deltas(
+            &[spec],
+            &[SweepPolicy::Near, SweepPolicy::IrgReal],
+            &[60_000, 20_000],
+            4,
+        );
+        let got: Vec<(&str, u64)> = cells.iter().map(|c| (c.policy, c.delta_ms)).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("NEAR", 60_000),
+                ("NEAR", 20_000),
+                ("IRG-R", 60_000),
+                ("IRG-R", 20_000),
+            ]
+        );
+        for pair in cells.chunks(2) {
+            // Same materialized workload at both Δ: identical demand, a
+            // 3× finer batch grid, and a Fig. 8-consistent direction
+            // (finer batching never serves fewer riders here).
+            assert_eq!(pair[0].total_riders, pair[1].total_riders);
+            assert_eq!(pair[1].batches, 3 * pair[0].batches);
+            assert!(pair[1].served >= pair[0].served);
         }
     }
 }

@@ -1,7 +1,12 @@
 //! Engine-equivalence battery: the event-driven core and the legacy
 //! per-Δ batch loop must produce identical `SimResult`s on every
 //! built-in scenario (the built-ins all use Δ-aligned driver phases, so
-//! equivalence is exact, not approximate).
+//! equivalence is exact, not approximate). The differential covers the
+//! rate estimator too: `run_scenario` runs the queueing policies on the
+//! incremental lazy `RateTracker` fed by the engine's live counts, while
+//! `run_scenario_reference` runs them on the verbatim eager
+//! `estimate_rates` path — so a bit-identical result pins engine, index
+//! and rate paths at once.
 //!
 //! The default tests run each built-in at reduced volume but the *paper
 //! default Δ = 3 s*, so the skip logic is exercised across thousands of
@@ -111,6 +116,15 @@ fn assert_builtin_equivalent(name: &str, policy: SweepPolicy) {
     assert!(fast.index_ops > 0, "{name}: index never maintained");
     assert_eq!(slow.index_ops, 0, "{name}: reference loop grew an index");
     assert_eq!(slow.index_rebuilds_avoided, 0);
+    // Same story for the live per-region rate counts: maintained (and
+    // sparse) under the event core, absent under the reference loop.
+    assert!(fast.counts_ops > 0, "{name}: counts never maintained");
+    assert!(
+        fast.counts_regions_dirtied <= fast.counts_ops,
+        "{name}: dirtied regions exceed count mutations"
+    );
+    assert_eq!(slow.counts_ops, 0, "{name}: reference loop grew counts");
+    assert_eq!(slow.counts_regions_dirtied, 0);
 }
 
 #[test]

@@ -25,6 +25,7 @@ use mrvd_spatial::{Grid, Point, RegionIndex, TravelModel};
 use mrvd_stats::SummaryStats;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
+use crate::counts::RegionCounts;
 use crate::metrics::{AssignmentRecord, RenegeRecord, SimResult};
 use crate::policy::{AvailableDriver, BatchContext, BusyDriver, DispatchPolicy, WaitingRider};
 use crate::schedule::DriverSchedule;
@@ -98,12 +99,15 @@ const PRI_DEADLINE: u8 = 2;
 /// first, then wake pooled offline drivers in pool order; ramp-downs
 /// park idle drivers from the pool's tail and mark busy ones (also from
 /// the tail) to retire at their next dropoff. Availability transitions
-/// are mirrored into the live candidate index. Returns whether any
-/// driver actually moved state.
+/// are mirrored into the live candidate index and the live per-region
+/// counts (a cancelled retirement re-enters the rejoin multiset, a fresh
+/// one leaves it). Returns whether any driver actually moved state.
 fn reconcile_fleet(
+    grid: &Grid,
     drivers: &mut [DriverState],
     retiring: &mut [bool],
     avail_index: &mut RegionIndex<DriverId>,
+    counts: &mut RegionCounts,
     target: usize,
     now: Millis,
 ) -> bool {
@@ -115,12 +119,16 @@ fn reconcile_fleet(
     let mut moved = false;
     if online < target {
         let mut need = target - online;
-        for r in retiring.iter_mut() {
+        for (d, r) in drivers.iter().zip(retiring.iter_mut()) {
             if need == 0 {
                 break;
             }
             if *r {
                 *r = false;
+                let DriverState::Busy { until_ms, dropoff } = *d else {
+                    unreachable!("retiring flag on a non-busy driver");
+                };
+                counts.add_rejoining(grid.region_of(dropoff), until_ms);
                 need -= 1;
                 moved = true;
             }
@@ -132,6 +140,7 @@ fn reconcile_fleet(
             if let DriverState::Offline { pos } = *d {
                 *d = DriverState::Available { pos, since_ms: now };
                 avail_index.insert(DriverId(i as u32), pos);
+                counts.add_available(grid.region_of(pos));
                 need -= 1;
                 moved = true;
             }
@@ -146,6 +155,7 @@ fn reconcile_fleet(
                 *d = DriverState::Offline { pos };
                 let removed = avail_index.remove_at(DriverId(i as u32), pos);
                 debug_assert_eq!(removed, 1, "index out of sync at shift-off");
+                counts.remove_available(grid.region_of(pos));
                 excess -= 1;
                 moved = true;
             }
@@ -154,10 +164,15 @@ fn reconcile_fleet(
             if excess == 0 {
                 break;
             }
-            if matches!(d, DriverState::Busy { .. }) && !*r {
-                *r = true;
-                excess -= 1;
-                moved = true;
+            if let DriverState::Busy { until_ms, dropoff } = *d {
+                if !*r {
+                    *r = true;
+                    // A retiring driver will not rejoin: it leaves the
+                    // busy view and the rejoin multiset together.
+                    counts.remove_rejoining(grid.region_of(dropoff), until_ms);
+                    excess -= 1;
+                    moved = true;
+                }
             }
         }
     }
@@ -329,9 +344,16 @@ impl<'a> Simulator<'a> {
         // shift on/off) instead of being rebuilt by every policy every
         // batch. Policies reach it through `BatchContext::avail_index`.
         let mut avail_index: RegionIndex<DriverId> = RegionIndex::new(self.grid.clone());
+        // Live per-region batch-state counts — waiting riders, available
+        // drivers, rejoin-time multisets — maintained at the same event
+        // times as the index and handed to policies through
+        // `BatchContext::region_counts` so rate estimation never re-scans
+        // state that did not change.
+        let mut counts = RegionCounts::new(self.grid.num_regions());
         for (i, d) in drivers.iter().enumerate() {
             if let DriverState::Available { pos, .. } = *d {
                 avail_index.insert(DriverId(i as u32), pos);
+                counts.add_available(self.grid.region_of(pos));
             }
         }
         let phases = schedule.phases();
@@ -356,6 +378,7 @@ impl<'a> Simulator<'a> {
         let mut events_processed = 0usize;
         let mut index_regions_dirtied = 0usize;
         let mut index_rebuilds_avoided = 0usize;
+        let mut counts_regions_dirtied = 0usize;
         // Scratch flags for validation.
         let mut rider_assigned = vec![false; riders.len()];
 
@@ -379,6 +402,7 @@ impl<'a> Simulator<'a> {
             // each one's exact-deadline renege event.
             while next_trip < riders.len() && riders[next_trip].trip.request_ms <= tick {
                 waiting.push(next_trip as u32);
+                counts.add_waiting(self.grid.region_of(riders[next_trip].trip.pickup));
                 events.push(Reverse((
                     riders[next_trip].deadline_ms,
                     PRI_DEADLINE,
@@ -418,10 +442,15 @@ impl<'a> Simulator<'a> {
                         };
                         debug_assert_eq!(until_ms, t);
                         drivers[d] = if retiring[d] {
+                            // Already out of the rejoin multiset since the
+                            // retirement was marked.
                             retiring[d] = false;
                             DriverState::Offline { pos: dropoff }
                         } else {
                             avail_index.insert(DriverId(id), dropoff);
+                            let r = self.grid.region_of(dropoff);
+                            counts.remove_rejoining(r, t);
+                            counts.add_available(r);
                             DriverState::Available {
                                 pos: dropoff,
                                 since_ms: t,
@@ -434,9 +463,11 @@ impl<'a> Simulator<'a> {
                         next_phase += 1;
                         let target = phases[id as usize].1;
                         changed |= reconcile_fleet(
+                            self.grid,
                             &mut drivers,
                             &mut retiring,
                             &mut avail_index,
+                            &mut counts,
                             target,
                             t,
                         );
@@ -448,6 +479,7 @@ impl<'a> Simulator<'a> {
                         // Deadlines of assigned riders are stale no-ops.
                         if !rider_assigned[ri] {
                             waiting.retain(|&w| w != id);
+                            counts.remove_waiting(self.grid.region_of(riders[ri].trip.pickup));
                             reneges.push(RenegeRecord {
                                 rider: RiderId(id),
                                 request_ms: riders[ri].trip.request_ms,
@@ -511,6 +543,13 @@ impl<'a> Simulator<'a> {
                 index_regions_dirtied += avail_index.dirty_regions().len();
                 avail_index.clear_dirty();
                 index_rebuilds_avoided += 1;
+                debug_assert_eq!(
+                    counts.totals(),
+                    (waiting_view.len(), avail_view.len(), busy_view.len()),
+                    "live counts out of sync with the batch views"
+                );
+                counts_regions_dirtied += counts.dirty_regions().len();
+                counts.clear_dirty();
                 let ctx = BatchContext {
                     now_ms: tick,
                     riders: &waiting_view,
@@ -519,6 +558,7 @@ impl<'a> Simulator<'a> {
                     travel: self.travel,
                     grid: self.grid,
                     avail_index: Some(&avail_index),
+                    region_counts: Some(&counts),
                 };
 
                 let t0 = std::time::Instant::now();
@@ -578,6 +618,9 @@ impl<'a> Simulator<'a> {
                     };
                     let removed = avail_index.remove_at(a.driver, pos);
                     debug_assert_eq!(removed, 1, "index out of sync at assignment");
+                    counts.remove_waiting(self.grid.region_of(rider.trip.pickup));
+                    counts.remove_available(self.grid.region_of(pos));
+                    counts.add_rejoining(self.grid.region_of(rider.trip.dropoff), dropoff_ms);
                     events.push(Reverse((dropoff_ms, PRI_DROPOFF, a.driver.0)));
                     rider_assigned[ri as usize] = true;
                     served += 1;
@@ -694,6 +737,8 @@ impl<'a> Simulator<'a> {
             index_ops: avail_index.ops_applied() as usize,
             index_regions_dirtied,
             index_rebuilds_avoided,
+            counts_ops: counts.ops_applied() as usize,
+            counts_regions_dirtied,
             assignments,
             reneges,
         }

@@ -13,12 +13,14 @@
 //! paper's batch boundaries — batch slots where nothing changed are
 //! skipped entirely (see `engine`). Alongside the driver states the
 //! engine maintains a live [`mrvd_spatial::RegionIndex`] of the
-//! available fleet, updated incrementally at those same event times and
-//! exposed to policies via [`BatchContext::avail_index`], so candidate
-//! generation never rebuilds spatial state that did not change. The
-//! literal per-Δ loop survives as
-//! [`Simulator::run_scheduled_reference`] (no skipping, no live index)
-//! for differential testing.
+//! available fleet and live per-region batch-state counts
+//! ([`RegionCounts`]: waiting riders, available drivers, rejoin-time
+//! multisets), both updated incrementally at those same event times and
+//! exposed to policies via [`BatchContext::avail_index`] /
+//! [`BatchContext::region_counts`], so neither candidate generation nor
+//! rate estimation rebuilds state that did not change. The literal per-Δ
+//! loop survives as [`Simulator::run_scheduled_reference`] (no skipping,
+//! no live index, no live counts) for differential testing.
 //!
 //! The simulator is deterministic given its seed, enforces the paper's
 //! validity constraint (Definition 3: the driver must reach the pickup
@@ -30,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod counts;
 pub mod engine;
 pub mod metrics;
 pub mod policy;
@@ -37,6 +40,7 @@ pub mod reference;
 pub mod schedule;
 pub mod types;
 
+pub use counts::RegionCounts;
 pub use engine::{SimConfig, Simulator};
 pub use metrics::{AssignmentRecord, RenegeRecord, SimResult};
 pub use policy::{

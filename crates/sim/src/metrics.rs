@@ -102,6 +102,18 @@ pub struct SimResult {
     /// [`SimResult::ticks_executed`] under the event engine, zero under
     /// the legacy reference loop.
     pub index_rebuilds_avoided: usize,
+    /// Mutations applied to the live per-region batch-state counts
+    /// ([`crate::RegionCounts`]: waiting/available/rejoining) while
+    /// maintaining them incrementally across the whole run. Zero under
+    /// the legacy reference loop, which has no live counts — policies
+    /// re-scan the batch views instead.
+    pub counts_ops: usize,
+    /// Cumulative count of regions whose live batch-state counts changed
+    /// between consecutive *executed* batches (the counts' dirty-set size
+    /// drained at each policy invocation). Low numbers relative to
+    /// `ticks_executed × num_regions` are what make incremental rate
+    /// estimation pay off.
+    pub counts_regions_dirtied: usize,
     /// Complete assignment log (chronological).
     pub assignments: Vec<AssignmentRecord>,
     /// Complete renege log (chronological).
@@ -242,6 +254,8 @@ mod tests {
             index_ops: 0,
             index_regions_dirtied: 0,
             index_rebuilds_avoided: 0,
+            counts_ops: 0,
+            counts_regions_dirtied: 0,
             assignments: vec![
                 // Driver 0: drops off at 100_000, estimated idle 30 s,
                 // next assignment at batch 140_000 → realized 40 s.
@@ -272,6 +286,8 @@ mod tests {
             index_ops: 0,
             index_regions_dirtied: 0,
             index_rebuilds_avoided: 0,
+            counts_ops: 0,
+            counts_regions_dirtied: 0,
             assignments: vec![
                 rec(0, 10_000, 10_000, 100_000, None),
                 rec(0, 140_000, 40_000, 200_000, None),
@@ -300,6 +316,8 @@ mod tests {
             index_ops: 0,
             index_regions_dirtied: 0,
             index_rebuilds_avoided: 0,
+            counts_ops: 0,
+            counts_regions_dirtied: 0,
             assignments: vec![],
             reneges: vec![],
         };
@@ -326,6 +344,8 @@ mod tests {
             index_ops: 0,
             index_regions_dirtied: 0,
             index_rebuilds_avoided: 0,
+            counts_ops: 0,
+            counts_regions_dirtied: 0,
             assignments: vec![],
             reneges: vec![],
         };

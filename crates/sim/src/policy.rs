@@ -3,6 +3,7 @@
 
 use mrvd_spatial::{Grid, Point, RegionIndex, TravelModel};
 
+use crate::counts::RegionCounts;
 use crate::types::{DriverId, Millis, RiderId};
 
 /// A rider currently waiting for a pickup.
@@ -72,6 +73,18 @@ pub struct BatchContext<'a> {
     /// the per-batch index rebuild (drivers only move at dropoffs, so
     /// consecutive batches share almost all spatial state).
     pub avail_index: Option<&'a RegionIndex<DriverId>>,
+    /// The engine's incrementally maintained per-region batch-state
+    /// counts, when live (`None` under the legacy reference loop and in
+    /// hand-built contexts).
+    ///
+    /// When present, it is guaranteed to be consistent with the views:
+    /// waiting counts mirror [`BatchContext::riders`] by pickup region,
+    /// available counts mirror [`BatchContext::drivers`] by position
+    /// region, and the rejoin-time multisets mirror [`BatchContext::busy`]
+    /// by dropoff region, all over [`BatchContext::grid`]. Rate
+    /// estimation uses it to skip the per-batch rider/driver/busy scans
+    /// (see `mrvd-core`'s `RateTracker`).
+    pub region_counts: Option<&'a RegionCounts>,
 }
 
 impl BatchContext<'_> {
@@ -188,6 +201,7 @@ mod tests {
             travel: &travel,
             grid: &grid,
             avail_index: None,
+            region_counts: None,
         };
         assert!(ctx.is_valid_pair(&rider, &near));
         assert!(!ctx.is_valid_pair(&rider, &far));
@@ -213,6 +227,7 @@ mod tests {
             travel: &travel,
             grid: &grid,
             avail_index: None,
+            region_counts: None,
         };
         assert_eq!(ctx.driver_slot(DriverId(0)), Some(0));
         assert_eq!(ctx.driver_slot(DriverId(7)), Some(2));

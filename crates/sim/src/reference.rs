@@ -225,6 +225,7 @@ impl Simulator<'_> {
                 // fall back to their per-batch candidate-index rebuild,
                 // which is exactly the differential this loop exists for.
                 avail_index: None,
+                region_counts: None,
             };
 
             // 5. Run the policy, timed.
@@ -351,6 +352,8 @@ impl Simulator<'_> {
             index_ops: 0,
             index_regions_dirtied: 0,
             index_rebuilds_avoided: 0,
+            counts_ops: 0,
+            counts_regions_dirtied: 0,
             assignments,
             reneges,
         }
