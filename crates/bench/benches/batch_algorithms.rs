@@ -19,6 +19,7 @@ fn ctx<'a>(f: &'a BatchFixture, travel: &'a ConstantSpeedModel) -> BatchContext<
         grid: &f.grid,
         avail_index: None,
         region_counts: None,
+        views: None,
     }
 }
 

@@ -25,6 +25,7 @@ fn ctx<'a>(
         grid: &f.grid,
         avail_index,
         region_counts: None,
+        views: None,
     }
 }
 

@@ -26,15 +26,17 @@ fn bench_rate_paths(c: &mut Criterion) {
         fixture.anchor_riders_to_drivers();
         let live_index = fixture.live_index();
         let counts = fixture.region_counts();
+        let views = fixture.batch_views();
         let ctx = BatchContext {
             now_ms: fixture.now_ms,
-            riders: &fixture.riders,
-            drivers: &fixture.drivers,
-            busy: &fixture.busy,
+            riders: views.waiting(),
+            drivers: views.available(),
+            busy: views.busy(),
             travel: &travel,
             grid: &fixture.grid,
             avail_index: Some(&live_index),
             region_counts: Some(&counts),
+            views: Some(&views),
         };
         let size = format!("{riders}r/{avail}d/{busy}b");
         g.bench_with_input(BenchmarkId::new("reference", &size), &(), |b, ()| {

@@ -6,7 +6,9 @@
 
 use mrvd_core::DemandOracle;
 use mrvd_demand::{count_trips, DemandSeries, NycLikeConfig, NycLikeGenerator, TripRecord};
-use mrvd_sim::{AvailableDriver, BusyDriver, DriverId, RegionCounts, RiderId, WaitingRider};
+use mrvd_sim::{
+    AvailableDriver, BatchViews, BusyDriver, DriverId, RegionCounts, RiderId, WaitingRider,
+};
 use mrvd_spatial::{Grid, Point, RegionIndex};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -120,6 +122,23 @@ impl BatchFixture {
             ix.insert(d.id, d.pos);
         }
         ix
+    }
+
+    /// Live batch views mirroring the fixture's state — what the engine
+    /// would hand a policy via `BatchContext::views`.
+    pub fn batch_views(&self) -> BatchViews {
+        let mut v = BatchViews::new();
+        for r in &self.riders {
+            v.add_waiting(*r);
+        }
+        for d in &self.drivers {
+            v.add_available(*d);
+        }
+        for b in &self.busy {
+            v.add_busy(*b);
+        }
+        v.clear_dirty();
+        v
     }
 
     /// Live per-region counts mirroring the fixture's views — what the

@@ -30,7 +30,8 @@ impl DispatchPolicy for Ltg {
 
     fn assign(&mut self, ctx: &BatchContext<'_>) -> Vec<Assignment> {
         let cands = valid_candidates_with(ctx, self.max_candidates, &mut self.scratch);
-        // Riders by descending revenue (travel cost).
+        // Riders by descending revenue (travel cost), ties broken by
+        // rider id — a view-order-invariant total order.
         let mut order: Vec<usize> = (0..ctx.riders.len()).collect();
         let revenue: Vec<f64> = ctx
             .riders
@@ -41,7 +42,7 @@ impl DispatchPolicy for Ltg {
             revenue[b]
                 .partial_cmp(&revenue[a])
                 .expect("revenue is finite")
-                .then(a.cmp(&b))
+                .then(ctx.riders[a].id.cmp(&ctx.riders[b].id))
         });
         let mut taken = vec![false; ctx.drivers.len()];
         let mut out = Vec::new();
@@ -91,7 +92,9 @@ impl DispatchPolicy for Near {
                 edges.push((t, r, d));
             }
         }
-        edges.sort_unstable();
+        // Ties break on (rider id, driver id), not batch slots, so the
+        // greedy sweep is invariant to the live views' slot order.
+        edges.sort_unstable_by_key(|&(t, r, d)| (t, ctx.riders[r].id, ctx.drivers[d].id));
         let mut rider_taken = vec![false; ctx.riders.len()];
         let mut driver_taken = vec![false; ctx.drivers.len()];
         let mut out = Vec::new();
@@ -137,7 +140,11 @@ impl DispatchPolicy for Rand {
 
     fn assign(&mut self, ctx: &BatchContext<'_>) -> Vec<Assignment> {
         let cands = valid_candidates_with(ctx, self.max_candidates, &mut self.scratch);
+        // Shuffle rider *identities*, not view slots: starting from the
+        // id-sorted slot order, the same RNG stream permutes the same
+        // rider sequence whatever order the live views hold them in.
         let mut order: Vec<usize> = (0..ctx.riders.len()).collect();
+        order.sort_by_key(|&r| ctx.riders[r].id);
         order.shuffle(&mut self.rng);
         let mut taken = vec![false; ctx.drivers.len()];
         let mut out = Vec::new();
@@ -224,6 +231,7 @@ mod tests {
             grid: &grid,
             avail_index: None,
             region_counts: None,
+            views: None,
         };
         let out = Ltg::default().assign(&ctx);
         assert_eq!(out.len(), 1);
@@ -242,6 +250,7 @@ mod tests {
             grid: &grid,
             avail_index: None,
             region_counts: None,
+            views: None,
         };
         let out = Near::default().assign(&ctx);
         assert_eq!(out.len(), 1);
@@ -260,6 +269,7 @@ mod tests {
             grid: &grid,
             avail_index: None,
             region_counts: None,
+            views: None,
         };
         let a = Rand::new(7).assign(&ctx);
         let b = Rand::new(7).assign(&ctx);
@@ -297,6 +307,7 @@ mod tests {
             grid: &grid,
             avail_index: None,
             region_counts: None,
+            views: None,
         };
         for out in [
             Ltg::default().assign(&ctx),

@@ -18,9 +18,11 @@
 //! clone, no fresh `Vec` per region per batch.
 //!
 //! Both paths produce *identical* [`CandidateSet`]s: candidates are
-//! sorted by `(pickup travel time, driver slot)` — a total order — so
-//! bucket insertion order (which differs between a live index and a
-//! rebuild) can never leak into the output. The engine-equivalence
+//! sorted by `(pickup travel time, driver id)` — a total order on the
+//! drivers themselves, not their batch slots — so neither bucket
+//! insertion order (which differs between a live index and a rebuild)
+//! nor the driver view's slot order (the engine's live views are not
+//! id-sorted) can leak into the output. The engine-equivalence
 //! batteries pin this end to end.
 
 use mrvd_sim::{BatchContext, DriverId};
@@ -66,10 +68,12 @@ pub struct CandidateScratch {
     index: Option<RegionIndex<usize>>,
     hits: Vec<(usize, Point)>,
     id_hits: Vec<(DriverId, Point)>,
-    /// Driver id → batch slot, rebuilt per live-index batch (one `u32`
-    /// write per available driver — far cheaper than re-bucketing them).
-    /// Grow-only; stale entries are never read because the live index
-    /// only yields ids present in the current batch.
+    /// Driver id → batch slot, rebuilt per live-index batch when the
+    /// context carries no live views (one `u32` write per available
+    /// driver — far cheaper than re-bucketing them). With live views the
+    /// engine's own id→slot map answers directly and this table is not
+    /// touched. Grow-only; stale entries are never read because the live
+    /// index only yields ids present in the current batch.
     slot_of_id: Vec<u32>,
 }
 
@@ -155,7 +159,7 @@ pub fn valid_candidates_with(
                 })
                 .collect(),
         };
-        cands.sort_by_key(|&(i, t)| (t, i));
+        cands.sort_by_key(|&(i, t)| (t, ctx.drivers[i].id));
         cands.truncate(max_candidates);
         pairs.push(cands);
     }
@@ -164,8 +168,10 @@ pub fn valid_candidates_with(
 
 /// The live-index path: ring queries against the engine-maintained
 /// availability index, with hits translated from [`DriverId`]s back to
-/// batch slots through a scratch-held direct-lookup table. The `(travel
-/// time, slot)` sort makes the output independent of bucket order, so
+/// batch slots — through the live views' own id→slot map when the
+/// context carries one (zero per-batch table work), else through a
+/// scratch-held direct-lookup table. The `(travel time, driver id)`
+/// sort makes the output independent of bucket order and view order, so
 /// this is byte-identical to the rebuild path.
 fn candidates_from_live_index(
     ctx: &BatchContext<'_>,
@@ -179,17 +185,29 @@ fn candidates_from_live_index(
         slot_of_id,
         ..
     } = scratch;
-    // Refresh the id → slot table for this batch's driver view. Stale
-    // entries from earlier batches are harmless: the live index is
-    // consistent with `ctx.drivers`, so only ids written here are read.
-    if let Some(last) = ctx.drivers.last() {
-        if slot_of_id.len() <= last.id.idx() {
-            slot_of_id.resize(last.id.idx() + 1, u32::MAX);
-        }
-        for (slot, d) in ctx.drivers.iter().enumerate() {
-            slot_of_id[d.id.idx()] = slot as u32;
+    // Refresh the id → slot table for this batch's driver view — only
+    // when no live views are present (the engine's map already answers
+    // in O(1)). Stale entries from earlier batches are harmless: the
+    // live index is consistent with `ctx.drivers`, so only ids written
+    // here are read.
+    if ctx.views.is_none() {
+        if let Some(max_id) = ctx.drivers.iter().map(|d| d.id.idx()).max() {
+            if slot_of_id.len() <= max_id {
+                slot_of_id.resize(max_id + 1, u32::MAX);
+            }
+            for (slot, d) in ctx.drivers.iter().enumerate() {
+                slot_of_id[d.id.idx()] = slot as u32;
+            }
         }
     }
+    let slot_of = |id: DriverId| -> usize {
+        match ctx.views {
+            Some(v) => v
+                .avail_slot(id)
+                .expect("live index hit missing from the live views"),
+            None => slot_of_id[id.idx()] as usize,
+        }
+    };
     let mut pairs = Vec::with_capacity(ctx.riders.len());
     for rider in ctx.riders {
         let budget_ms = rider.deadline_ms.saturating_sub(ctx.now_ms);
@@ -199,10 +217,10 @@ fn candidates_from_live_index(
             .iter()
             .filter_map(|&(id, pos)| {
                 let t = ctx.travel.travel_time_ms(pos, rider.pickup);
-                (ctx.now_ms + t <= rider.deadline_ms).then(|| (slot_of_id[id.idx()] as usize, t))
+                (ctx.now_ms + t <= rider.deadline_ms).then(|| (slot_of(id), t))
             })
             .collect();
-        cands.sort_by_key(|&(i, t)| (t, i));
+        cands.sort_by_key(|&(i, t)| (t, ctx.drivers[i].id));
         cands.truncate(max_candidates);
         pairs.push(cands);
     }
@@ -261,6 +279,7 @@ mod tests {
             grid: &grid,
             avail_index: None,
             region_counts: None,
+            views: None,
         };
         let ctx_slow = BatchContext {
             now_ms: 0,
@@ -271,6 +290,7 @@ mod tests {
             grid: &grid,
             avail_index: None,
             region_counts: None,
+            views: None,
         };
         let a = valid_candidates(&ctx_fast, usize::MAX);
         let b = valid_candidates(&ctx_slow, usize::MAX);
@@ -295,6 +315,7 @@ mod tests {
             grid: &grid,
             avail_index: None,
             region_counts: None,
+            views: None,
         };
         let c = valid_candidates(&ctx, usize::MAX);
         assert_eq!(c.pairs[0].len(), 2, "{:?}", c.pairs[0]);
@@ -317,6 +338,7 @@ mod tests {
             grid: &grid,
             avail_index: None,
             region_counts: None,
+            views: None,
         };
         let c = valid_candidates(&ctx, 5);
         assert_eq!(c.pairs[0].len(), 5);
@@ -354,6 +376,7 @@ mod tests {
                 grid: &grid,
                 avail_index: None,
                 region_counts: None,
+                views: None,
             };
             let reused = valid_candidates_with(&ctx, 8, &mut scratch);
             let fresh = valid_candidates(&ctx, 8);
@@ -391,6 +414,7 @@ mod tests {
             grid: &grid,
             avail_index,
             region_counts: None,
+            views: None,
         };
         let with_live = valid_candidates(&mk_ctx(Some(&live)), 8);
         let rebuilt = valid_candidates(&mk_ctx(None), 8);
@@ -424,6 +448,7 @@ mod tests {
             grid: &grid,
             avail_index: Some(&live),
             region_counts: None,
+            views: None,
         };
         let got = valid_candidates(&ctx, usize::MAX);
         assert_eq!(got.pairs[0].len(), 10);
@@ -450,6 +475,7 @@ mod tests {
             grid: &grid,
             avail_index: Some(&live),
             region_counts: None,
+            views: None,
         };
         let got = valid_candidates(&ctx, usize::MAX);
         let expect = valid_candidates(
@@ -481,6 +507,7 @@ mod tests {
             grid: &grid,
             avail_index: None,
             region_counts: None,
+            views: None,
         };
         let c = valid_candidates(&ctx, usize::MAX);
         let inv = c.by_driver(3);

@@ -175,11 +175,14 @@ impl DispatchPolicy for Polar {
                 });
             }
         }
+        // Ties break on stable (rider id, driver id), not view slots, so
+        // the greedy sweep is invariant to the live views' slot order.
+        let edge_id = |e: &Scored| (ctx.riders[e.rider].id, ctx.drivers[e.driver].id);
         edges.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
                 .expect("scores are finite")
-                .then((a.rider, a.driver).cmp(&(b.rider, b.driver)))
+                .then(edge_id(a).cmp(&edge_id(b)))
         });
         let mut rider_taken = vec![false; ctx.riders.len()];
         let mut driver_taken = vec![false; ctx.drivers.len()];
@@ -276,6 +279,7 @@ mod tests {
             grid: &grid,
             avail_index: None,
             region_counts: None,
+            views: None,
         };
         let mut polar = Polar::new(PolarConfig::default(), &oracle(&grid), &grid, 1);
         let out = polar.assign(&ctx);

@@ -197,10 +197,16 @@ impl DispatchPolicy for QueueingPolicy {
             .collect();
 
         // Greedy selection with a lazy re-keyed heap (lines 7–12).
-        // Entry: (key, pickup travel ms, rider idx, driver idx, dest version).
+        // Entry: (key, pickup travel ms, rider id, driver id, rider slot,
+        // driver slot, dest version). Ties break on the stable *ids*, not
+        // the view slots, so the selection order — and with it every
+        // downstream μ-bump — is invariant to the live views' slot order.
+        // (At most one live entry exists per (rider, driver) pair: each is
+        // pushed once up front, and a stale entry is popped before its
+        // re-keyed copy is pushed, so the id tie-break is a total order.)
         self.version.clear();
         self.version.resize(ctx.grid.num_regions(), 0);
-        type Entry = Reverse<(OrdF64, u64, usize, usize, u32)>;
+        type Entry = Reverse<(OrdF64, u64, u32, u32, usize, usize, u32)>;
         let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
         for (r, cand) in cands.pairs.iter().enumerate() {
             if cand.is_empty() {
@@ -212,14 +218,22 @@ impl DispatchPolicy for QueueingPolicy {
             let et = self.tracker.et(dest, &self.cfg);
             let k = self.key(rider_cost[r], et);
             for &(d, pickup_ms) in cand {
-                heap.push(Reverse((OrdF64(k), pickup_ms, r, d, self.version[dest])));
+                heap.push(Reverse((
+                    OrdF64(k),
+                    pickup_ms,
+                    ctx.riders[r].id.0,
+                    ctx.drivers[d].id.0,
+                    r,
+                    d,
+                    self.version[dest],
+                )));
             }
         }
         let mut rider_taken = vec![false; n_riders];
         let mut driver_of_rider = vec![usize::MAX; n_riders];
         let mut driver_taken = vec![false; n_drivers];
         let mut rider_of_driver = vec![usize::MAX; n_drivers];
-        while let Some(Reverse((_, pickup_ms, r, d, ver))) = heap.pop() {
+        while let Some(Reverse((_, pickup_ms, rid, did, r, d, ver))) = heap.pop() {
             if rider_taken[r] || driver_taken[d] {
                 continue;
             }
@@ -228,7 +242,15 @@ impl DispatchPolicy for QueueingPolicy {
                 // Stale: re-key against the current expected idle time.
                 let et = self.tracker.et(dest, &self.cfg);
                 let k = self.key(rider_cost[r], et);
-                heap.push(Reverse((OrdF64(k), pickup_ms, r, d, self.version[dest])));
+                heap.push(Reverse((
+                    OrdF64(k),
+                    pickup_ms,
+                    rid,
+                    did,
+                    r,
+                    d,
+                    self.version[dest],
+                )));
                 continue;
             }
             rider_taken[r] = true;
@@ -240,12 +262,17 @@ impl DispatchPolicy for QueueingPolicy {
             self.version[dest] = self.version[dest].wrapping_add(1);
         }
 
-        // Local search refinement (Algorithm 3).
+        // Local search refinement (Algorithm 3). The sweep visits drivers
+        // in id order and picks each replacement by an explicit
+        // (key, rider id) minimum, so the refinement path — like the
+        // greedy phase — does not depend on the views' slot order.
         if let SearchMode::LocalSearch { max_sweeps } = self.mode {
             let by_driver = cands.by_driver(n_drivers);
+            let mut dorder: Vec<usize> = (0..n_drivers).collect();
+            dorder.sort_by_key(|&d| ctx.drivers[d].id);
             for _sweep in 0..max_sweeps {
                 let mut changed = false;
-                for d in 0..n_drivers {
+                for &d in &dorder {
                     let cur = rider_of_driver[d];
                     if cur == usize::MAX {
                         continue;
@@ -260,7 +287,14 @@ impl DispatchPolicy for QueueingPolicy {
                         }
                         let et2 = self.tracker.et(rider_dest[r2], &self.cfg);
                         let k2 = self.key(rider_cost[r2], et2);
-                        if k2 < cur_key - 1e-12 && best.is_none_or(|(_, bk)| k2 < bk) {
+                        let better = match best {
+                            None => k2 < cur_key - 1e-12,
+                            Some((br, bk)) => {
+                                k2 < cur_key - 1e-12
+                                    && (k2, ctx.riders[r2].id) < (bk, ctx.riders[br].id)
+                            }
+                        };
+                        if better {
                             best = Some((r2, k2));
                         }
                     }
@@ -284,15 +318,18 @@ impl DispatchPolicy for QueueingPolicy {
             }
         }
 
-        // Emit assignments with the final idle-time estimates (Table 3).
-        (0..n_riders)
+        // Emit assignments with the final idle-time estimates (Table 3),
+        // in rider-id order — canonical whatever order the views hold.
+        let mut out: Vec<Assignment> = (0..n_riders)
             .filter(|&r| driver_of_rider[r] != usize::MAX)
             .map(|r| Assignment {
                 rider: ctx.riders[r].id,
                 driver: ctx.drivers[driver_of_rider[r]].id,
                 estimated_idle_s: Some(self.tracker.et(rider_dest[r], &self.cfg)),
             })
-            .collect()
+            .collect();
+        out.sort_by_key(|a| a.rider);
+        out
     }
 }
 
@@ -355,6 +392,7 @@ mod tests {
             grid,
             avail_index: None,
             region_counts: None,
+            views: None,
         }
     }
 

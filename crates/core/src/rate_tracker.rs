@@ -353,6 +353,7 @@ mod tests {
             grid,
             avail_index: None,
             region_counts: counts,
+            views: None,
         }
     }
 

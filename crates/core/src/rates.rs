@@ -180,6 +180,7 @@ mod tests {
             grid,
             avail_index: None,
             region_counts: None,
+            views: None,
         }
     }
 

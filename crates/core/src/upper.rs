@@ -20,7 +20,9 @@ impl DispatchPolicy for Upper {
         if k == 0 {
             return Vec::new();
         }
-        // Top-k riders by revenue; drivers are interchangeable here.
+        // Top-k riders by revenue; drivers are interchangeable here. Both
+        // ranks break ties by stable id, so the pairing is invariant to
+        // the live views' slot order.
         let mut order: Vec<usize> = (0..ctx.riders.len()).collect();
         let revenue: Vec<f64> = ctx
             .riders
@@ -31,15 +33,17 @@ impl DispatchPolicy for Upper {
             revenue[b]
                 .partial_cmp(&revenue[a])
                 .expect("revenue is finite")
-                .then(a.cmp(&b))
+                .then(ctx.riders[a].id.cmp(&ctx.riders[b].id))
         });
+        let mut dorder: Vec<usize> = (0..ctx.drivers.len()).collect();
+        dorder.sort_by_key(|&d| ctx.drivers[d].id);
         order
             .into_iter()
             .take(k)
-            .zip(ctx.drivers.iter())
+            .zip(dorder)
             .map(|(r, d)| Assignment {
                 rider: ctx.riders[r].id,
-                driver: d.id,
+                driver: ctx.drivers[d].id,
                 estimated_idle_s: None,
             })
             .collect()
@@ -91,6 +95,7 @@ mod tests {
             grid: &grid,
             avail_index: None,
             region_counts: None,
+            views: None,
         };
         let out = Upper.assign(&ctx);
         assert_eq!(out.len(), 2);

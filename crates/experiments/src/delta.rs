@@ -86,6 +86,18 @@ pub fn delta(opts: &Options) {
         micro.tracker_ets_per_batch,
     );
 
+    let vmicro = views_microbench();
+    println!(
+        "sparse-regime view maintenance ({} rider(s) / {} drivers / {} busy): \
+         scan-rebuild {:.2} µs → incremental {:.3} µs per executed batch ({:.0}×)",
+        vmicro.riders,
+        vmicro.available_drivers,
+        vmicro.busy_drivers,
+        vmicro.scan_us,
+        vmicro.incremental_us,
+        vmicro.scan_us / vmicro.incremental_us,
+    );
+
     let cell_values: Vec<Value> = cells
         .iter()
         .map(|c| {
@@ -110,6 +122,9 @@ pub fn delta(opts: &Options) {
                 "index_rebuilds_avoided": c.index_rebuilds_avoided,
                 "counts_ops": c.counts_ops,
                 "counts_regions_dirtied": c.counts_regions_dirtied,
+                "views_ops": c.views_ops,
+                "views_entries_dirtied": c.views_entries_dirtied,
+                "views_rebuilds_avoided": c.views_rebuilds_avoided,
                 "wall_s": c.wall_s,
             })
         })
@@ -124,6 +139,14 @@ pub fn delta(opts: &Options) {
         "reference_ets_per_batch": micro.reference_ets_per_batch,
         "tracker_ets_per_batch": micro.tracker_ets_per_batch,
     });
+    let views_bench = json!({
+        "riders": vmicro.riders,
+        "available_drivers": vmicro.available_drivers,
+        "busy_drivers": vmicro.busy_drivers,
+        "scan_us": vmicro.scan_us,
+        "incremental_us": vmicro.incremental_us,
+        "speedup": vmicro.scan_us / vmicro.incremental_us,
+    });
     dump_json(
         opts,
         "BENCH_delta",
@@ -134,9 +157,87 @@ pub fn delta(opts: &Options) {
             "total_wall_s": total_wall_s,
             "policies": policies.iter().map(|p| p.label()).collect::<Vec<&str>>(),
             "sparse_batch_bench": sparse_bench,
+            "views_bench": views_bench,
             "cells": cell_values,
         }),
     );
+}
+
+/// Result of the sparse-regime view-maintenance microbenchmark.
+struct ViewsBench {
+    riders: usize,
+    available_drivers: usize,
+    busy_drivers: usize,
+    scan_us: f64,
+    incremental_us: f64,
+}
+
+/// Times the engine's per-executed-batch view work in the fine-Δ sparse
+/// regime (one waiting rider over a 10 000-driver fleet): the full
+/// waiting/available/busy scans the old engine ran every executed batch
+/// ([`mrvd_sim::BatchViews::rebuild_reference`]) against the live views'
+/// incremental path (one assignment round-trip of O(1) slot updates plus
+/// the per-batch dirty drain). Same regime as the `batch_views`
+/// criterion bench, recorded here so `BENCH_delta.json` carries the
+/// number alongside the sweep it explains.
+fn views_microbench() -> ViewsBench {
+    use mrvd_sim::{BatchViews, BusyDriver};
+    let fixture = BatchFixture::rush_hour(1, 10_000, 500, 7);
+    const WARMUP: usize = 10;
+    const ITERS: usize = 200;
+    let mut scan_views = BatchViews::new();
+    let mut scan = || {
+        scan_views.rebuild_reference(
+            fixture.riders.iter().copied(),
+            fixture.drivers.iter().copied(),
+            fixture.busy.iter().copied(),
+        );
+        scan_views.waiting().len() + scan_views.available().len() + scan_views.busy().len()
+    };
+    for _ in 0..WARMUP {
+        std::hint::black_box(scan());
+    }
+    let t0 = std::time::Instant::now();
+    for _ in 0..ITERS {
+        std::hint::black_box(scan());
+    }
+    let scan_us = t0.elapsed().as_secs_f64() * 1e6 / ITERS as f64;
+
+    let mut views = fixture.batch_views();
+    let rider = fixture.riders[0];
+    let driver = fixture.drivers[0];
+    let busy = BusyDriver {
+        id: driver.id,
+        dropoff_ms: fixture.now_ms + 600_000,
+        dropoff_pos: rider.dropoff,
+    };
+    let mut incremental = || {
+        views.remove_waiting(rider.id);
+        views.remove_available(driver.id);
+        views.add_busy(busy);
+        views.remove_busy(driver.id);
+        views.add_available(driver);
+        views.add_waiting(rider);
+        let dirtied = views.entries_dirtied();
+        views.clear_dirty();
+        dirtied
+    };
+    for _ in 0..WARMUP {
+        std::hint::black_box(incremental());
+    }
+    let t0 = std::time::Instant::now();
+    for _ in 0..ITERS {
+        std::hint::black_box(incremental());
+    }
+    let incremental_us = t0.elapsed().as_secs_f64() * 1e6 / ITERS as f64;
+
+    ViewsBench {
+        riders: fixture.riders.len(),
+        available_drivers: fixture.drivers.len(),
+        busy_drivers: fixture.busy.len(),
+        scan_us,
+        incremental_us,
+    }
 }
 
 /// Result of the sparse-regime rate-path microbenchmark.
@@ -164,15 +265,17 @@ fn sparse_batch_microbench() -> SparseBench {
     let travel = ConstantSpeedModel::default();
     let live_index = fixture.live_index();
     let counts = fixture.region_counts();
+    let views = fixture.batch_views();
     let ctx = BatchContext {
         now_ms: fixture.now_ms,
-        riders: &fixture.riders,
-        drivers: &fixture.drivers,
-        busy: &fixture.busy,
+        riders: views.waiting(),
+        drivers: views.available(),
+        busy: views.busy(),
         travel: &travel,
         grid: &fixture.grid,
         avail_index: Some(&live_index),
         region_counts: Some(&counts),
+        views: Some(&views),
     };
     let time_policy = |policy: &mut QueueingPolicy| {
         const WARMUP: usize = 10;

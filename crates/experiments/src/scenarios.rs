@@ -107,6 +107,9 @@ pub fn scenarios(opts: &Options) {
                 "index_rebuilds_avoided": c.index_rebuilds_avoided,
                 "counts_ops": c.counts_ops,
                 "counts_regions_dirtied": c.counts_regions_dirtied,
+                "views_ops": c.views_ops,
+                "views_entries_dirtied": c.views_entries_dirtied,
+                "views_rebuilds_avoided": c.views_rebuilds_avoided,
                 "wall_s": c.wall_s,
             })
         })
@@ -133,6 +136,11 @@ pub fn scenarios(opts: &Options) {
             "total_counts_ops": cells.iter().map(|c| c.counts_ops).sum::<usize>(),
             "total_counts_regions_dirtied":
                 cells.iter().map(|c| c.counts_regions_dirtied).sum::<usize>(),
+            "total_views_ops": cells.iter().map(|c| c.views_ops).sum::<usize>(),
+            "total_views_entries_dirtied":
+                cells.iter().map(|c| c.views_entries_dirtied).sum::<usize>(),
+            "total_views_rebuilds_avoided":
+                cells.iter().map(|c| c.views_rebuilds_avoided).sum::<usize>(),
             "cells": engine_cells,
         }),
     );

@@ -183,6 +183,16 @@ pub struct SweepCell {
     /// Regions whose live counts changed between consecutive executed
     /// batches ([`mrvd_sim::SimResult::counts_regions_dirtied`]).
     pub counts_regions_dirtied: usize,
+    /// Mutations applied to the live batch views
+    /// ([`mrvd_sim::SimResult::views_ops`]).
+    pub views_ops: usize,
+    /// View entries touched between consecutive executed batches
+    /// ([`mrvd_sim::SimResult::views_entries_dirtied`]).
+    pub views_entries_dirtied: usize,
+    /// Executed batches served by the live views instead of full
+    /// waiting/available/busy scans
+    /// ([`mrvd_sim::SimResult::views_rebuilds_avoided`]).
+    pub views_rebuilds_avoided: usize,
 }
 
 impl SweepCell {
@@ -216,6 +226,9 @@ impl SweepCell {
             index_rebuilds_avoided: result.index_rebuilds_avoided,
             counts_ops: result.counts_ops,
             counts_regions_dirtied: result.counts_regions_dirtied,
+            views_ops: result.views_ops,
+            views_entries_dirtied: result.views_entries_dirtied,
+            views_rebuilds_avoided: result.views_rebuilds_avoided,
         }
     }
 }
@@ -334,6 +347,12 @@ mod tests {
             assert!(c.index_regions_dirtied <= c.index_ops);
             assert!(c.counts_ops > 0, "fleet seeding alone applies count ops");
             assert!(c.counts_regions_dirtied <= c.counts_ops);
+            assert_eq!(
+                c.views_rebuilds_avoided, c.ticks_executed,
+                "every executed batch is served by the live views"
+            );
+            assert!(c.views_ops > 0, "fleet seeding alone applies view ops");
+            assert!(c.views_entries_dirtied <= 2 * c.views_ops);
             assert_eq!(c.delta_ms, 60_000, "cell records the Δ it ran at");
         }
     }

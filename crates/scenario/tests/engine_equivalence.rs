@@ -125,6 +125,21 @@ fn assert_builtin_equivalent(name: &str, policy: SweepPolicy) {
     );
     assert_eq!(slow.counts_ops, 0, "{name}: reference loop grew counts");
     assert_eq!(slow.counts_regions_dirtied, 0);
+    // And for the live batch views: every executed batch ran off them
+    // (zero full waiting/available/busy scans), while the reference loop
+    // scan-builds its views and reports no live-view activity.
+    assert_eq!(
+        fast.views_rebuilds_avoided, fast.ticks_executed,
+        "{name}: an executed batch fell back to a full scan"
+    );
+    assert!(fast.views_ops > 0, "{name}: views never maintained");
+    assert!(
+        fast.views_entries_dirtied <= 2 * fast.views_ops,
+        "{name}: dirtied entries exceed view mutations"
+    );
+    assert_eq!(slow.views_ops, 0, "{name}: reference loop grew views");
+    assert_eq!(slow.views_entries_dirtied, 0);
+    assert_eq!(slow.views_rebuilds_avoided, 0);
 }
 
 #[test]

@@ -30,6 +30,7 @@ use crate::metrics::{AssignmentRecord, RenegeRecord, SimResult};
 use crate::policy::{AvailableDriver, BatchContext, BusyDriver, DispatchPolicy, WaitingRider};
 use crate::schedule::DriverSchedule;
 use crate::types::{DriverId, Millis, RiderId};
+use crate::views::BatchViews;
 
 /// Simulation parameters (defaults follow the paper's Table 2 defaults:
 /// Δ = 3 s, τ = 180 s base wait + U[1 s, 10 s] noise, one full day).
@@ -99,15 +100,18 @@ const PRI_DEADLINE: u8 = 2;
 /// first, then wake pooled offline drivers in pool order; ramp-downs
 /// park idle drivers from the pool's tail and mark busy ones (also from
 /// the tail) to retire at their next dropoff. Availability transitions
-/// are mirrored into the live candidate index and the live per-region
-/// counts (a cancelled retirement re-enters the rejoin multiset, a fresh
-/// one leaves it). Returns whether any driver actually moved state.
+/// are mirrored into the live candidate index, the live per-region
+/// counts and the live batch views (a cancelled retirement re-enters the
+/// rejoin multiset and the busy view, a fresh one leaves them). Returns
+/// whether any driver actually moved state.
+#[allow(clippy::too_many_arguments)] // one slot per live structure kept in sync
 fn reconcile_fleet(
     grid: &Grid,
     drivers: &mut [DriverState],
     retiring: &mut [bool],
     avail_index: &mut RegionIndex<DriverId>,
     counts: &mut RegionCounts,
+    views: &mut BatchViews,
     target: usize,
     now: Millis,
 ) -> bool {
@@ -119,7 +123,7 @@ fn reconcile_fleet(
     let mut moved = false;
     if online < target {
         let mut need = target - online;
-        for (d, r) in drivers.iter().zip(retiring.iter_mut()) {
+        for (i, (d, r)) in drivers.iter().zip(retiring.iter_mut()).enumerate() {
             if need == 0 {
                 break;
             }
@@ -129,6 +133,11 @@ fn reconcile_fleet(
                     unreachable!("retiring flag on a non-busy driver");
                 };
                 counts.add_rejoining(grid.region_of(dropoff), until_ms);
+                views.add_busy(BusyDriver {
+                    id: DriverId(i as u32),
+                    dropoff_ms: until_ms,
+                    dropoff_pos: dropoff,
+                });
                 need -= 1;
                 moved = true;
             }
@@ -141,6 +150,11 @@ fn reconcile_fleet(
                 *d = DriverState::Available { pos, since_ms: now };
                 avail_index.insert(DriverId(i as u32), pos);
                 counts.add_available(grid.region_of(pos));
+                views.add_available(AvailableDriver {
+                    id: DriverId(i as u32),
+                    pos,
+                    available_since_ms: now,
+                });
                 need -= 1;
                 moved = true;
             }
@@ -156,11 +170,12 @@ fn reconcile_fleet(
                 let removed = avail_index.remove_at(DriverId(i as u32), pos);
                 debug_assert_eq!(removed, 1, "index out of sync at shift-off");
                 counts.remove_available(grid.region_of(pos));
+                views.remove_available(DriverId(i as u32));
                 excess -= 1;
                 moved = true;
             }
         }
-        for (d, r) in drivers.iter().zip(retiring.iter_mut()).rev() {
+        for (i, (d, r)) in drivers.iter().zip(retiring.iter_mut()).enumerate().rev() {
             if excess == 0 {
                 break;
             }
@@ -170,6 +185,7 @@ fn reconcile_fleet(
                     // A retiring driver will not rejoin: it leaves the
                     // busy view and the rejoin multiset together.
                     counts.remove_rejoining(grid.region_of(dropoff), until_ms);
+                    views.remove_busy(DriverId(i as u32));
                     excess -= 1;
                     moved = true;
                 }
@@ -350,10 +366,23 @@ impl<'a> Simulator<'a> {
         // `BatchContext::region_counts` so rate estimation never re-scans
         // state that did not change.
         let mut counts = RegionCounts::new(self.grid.num_regions());
+        // The live batch views — the exact waiting / available / busy
+        // slices every policy sees — maintained at the same event times
+        // as the index and the counts, so an executed batch hands the
+        // policy its context without a single full rider or fleet scan.
+        // Slots are stable under `swap_remove`, so the slices are *not*
+        // id-sorted; every policy's output is id-tie-broken and hence
+        // invariant to the order (the equivalence batteries pin this).
+        let mut views = BatchViews::new();
         for (i, d) in drivers.iter().enumerate() {
             if let DriverState::Available { pos, .. } = *d {
                 avail_index.insert(DriverId(i as u32), pos);
                 counts.add_available(self.grid.region_of(pos));
+                views.add_available(AvailableDriver {
+                    id: DriverId(i as u32),
+                    pos,
+                    available_since_ms: 0,
+                });
             }
         }
         let phases = schedule.phases();
@@ -367,7 +396,6 @@ impl<'a> Simulator<'a> {
         // `next_phase`; both merge into the same time order below.
         let mut events: BinaryHeap<Reverse<(Millis, u8, u32)>> = BinaryHeap::new();
 
-        let mut waiting: Vec<u32> = Vec::new(); // rider indices
         let mut next_trip = 0usize;
         let mut served = 0usize;
         let mut total_revenue = 0.0f64;
@@ -379,14 +407,10 @@ impl<'a> Simulator<'a> {
         let mut index_regions_dirtied = 0usize;
         let mut index_rebuilds_avoided = 0usize;
         let mut counts_regions_dirtied = 0usize;
+        let mut views_entries_dirtied = 0usize;
+        let mut views_rebuilds_avoided = 0usize;
         // Scratch flags for validation.
         let mut rider_assigned = vec![false; riders.len()];
-
-        // Per-batch scratch, hoisted out of the loop (the legacy loop
-        // reallocated all four every tick).
-        let mut waiting_view: Vec<WaitingRider> = Vec::new();
-        let mut avail_view: Vec<AvailableDriver> = Vec::new();
-        let mut busy_view: Vec<BusyDriver> = Vec::new();
         let mut driver_taken = vec![false; drivers.len()];
 
         let mut tick: Millis = 0;
@@ -401,13 +425,16 @@ impl<'a> Simulator<'a> {
             // 1. Admit riders whose request time has passed, scheduling
             // each one's exact-deadline renege event.
             while next_trip < riders.len() && riders[next_trip].trip.request_ms <= tick {
-                waiting.push(next_trip as u32);
-                counts.add_waiting(self.grid.region_of(riders[next_trip].trip.pickup));
-                events.push(Reverse((
-                    riders[next_trip].deadline_ms,
-                    PRI_DEADLINE,
-                    next_trip as u32,
-                )));
+                let r = &riders[next_trip];
+                counts.add_waiting(self.grid.region_of(r.trip.pickup));
+                views.add_waiting(WaitingRider {
+                    id: RiderId(next_trip as u32),
+                    pickup: r.trip.pickup,
+                    dropoff: r.trip.dropoff,
+                    request_ms: r.trip.request_ms,
+                    deadline_ms: r.deadline_ms,
+                });
+                events.push(Reverse((r.deadline_ms, PRI_DEADLINE, next_trip as u32)));
                 next_trip += 1;
                 events_processed += 1;
                 changed = true;
@@ -451,6 +478,12 @@ impl<'a> Simulator<'a> {
                             let r = self.grid.region_of(dropoff);
                             counts.remove_rejoining(r, t);
                             counts.add_available(r);
+                            views.remove_busy(DriverId(id));
+                            views.add_available(AvailableDriver {
+                                id: DriverId(id),
+                                pos: dropoff,
+                                available_since_ms: t,
+                            });
                             DriverState::Available {
                                 pos: dropoff,
                                 since_ms: t,
@@ -468,6 +501,7 @@ impl<'a> Simulator<'a> {
                             &mut retiring,
                             &mut avail_index,
                             &mut counts,
+                            &mut views,
                             target,
                             t,
                         );
@@ -478,7 +512,7 @@ impl<'a> Simulator<'a> {
                         let ri = id as usize;
                         // Deadlines of assigned riders are stale no-ops.
                         if !rider_assigned[ri] {
-                            waiting.retain(|&w| w != id);
+                            views.remove_waiting(RiderId(id));
                             counts.remove_waiting(self.grid.region_of(riders[ri].trip.pickup));
                             reneges.push(RenegeRecord {
                                 rider: RiderId(id),
@@ -495,49 +529,16 @@ impl<'a> Simulator<'a> {
             // 3. Run the batch — unless nothing changed since the last
             // one and no refill is pending, in which case this slot is
             // skipped without touching the policy.
-            if changed || last_assigned || (every_batch && !waiting.is_empty()) {
-                waiting_view.clear();
-                waiting_view.extend(waiting.iter().map(|&ri| {
-                    let r = &riders[ri as usize];
-                    WaitingRider {
-                        id: RiderId(ri),
-                        pickup: r.trip.pickup,
-                        dropoff: r.trip.dropoff,
-                        request_ms: r.trip.request_ms,
-                        deadline_ms: r.deadline_ms,
-                    }
-                }));
-                avail_view.clear();
-                busy_view.clear();
-                for (i, d) in drivers.iter().enumerate() {
-                    match *d {
-                        DriverState::Available { pos, since_ms } => {
-                            avail_view.push(AvailableDriver {
-                                id: DriverId(i as u32),
-                                pos,
-                                available_since_ms: since_ms,
-                            })
-                        }
-                        // Retiring drivers will not rejoin, so they are
-                        // not upcoming supply and stay out of the busy
-                        // view.
-                        DriverState::Busy { until_ms, dropoff } if !retiring[i] => {
-                            busy_view.push(BusyDriver {
-                                id: DriverId(i as u32),
-                                dropoff_ms: until_ms,
-                                dropoff_pos: dropoff,
-                            })
-                        }
-                        DriverState::Busy { .. } | DriverState::Offline { .. } => {}
-                    }
-                }
-                // Settle the index's change tracking for this batch: the
-                // dirtied regions are the spatial state that actually
-                // changed since the previous policy invocation; handing
-                // the live index over is one rebuild the policy skips.
+            if changed || last_assigned || (every_batch && !views.waiting().is_empty()) {
+                // The live views *are* the batch context — no rider or
+                // fleet scan happens here. Settle the change tracking of
+                // all three live structures for this batch: the dirtied
+                // regions/entries are the state that actually changed
+                // since the previous policy invocation, and handing each
+                // structure over is one rebuild the batch skips.
                 debug_assert_eq!(
                     avail_index.len(),
-                    avail_view.len(),
+                    views.available().len(),
                     "live index out of sync with the availability view"
                 );
                 index_regions_dirtied += avail_index.dirty_regions().len();
@@ -545,20 +546,28 @@ impl<'a> Simulator<'a> {
                 index_rebuilds_avoided += 1;
                 debug_assert_eq!(
                     counts.totals(),
-                    (waiting_view.len(), avail_view.len(), busy_view.len()),
+                    (
+                        views.waiting().len(),
+                        views.available().len(),
+                        views.busy().len()
+                    ),
                     "live counts out of sync with the batch views"
                 );
                 counts_regions_dirtied += counts.dirty_regions().len();
                 counts.clear_dirty();
+                views_entries_dirtied += views.entries_dirtied();
+                views.clear_dirty();
+                views_rebuilds_avoided += 1;
                 let ctx = BatchContext {
                     now_ms: tick,
-                    riders: &waiting_view,
-                    drivers: &avail_view,
-                    busy: &busy_view,
+                    riders: views.waiting(),
+                    drivers: views.available(),
+                    busy: views.busy(),
                     travel: self.travel,
                     grid: self.grid,
                     avail_index: Some(&avail_index),
                     region_counts: Some(&counts),
+                    views: Some(&views),
                 };
 
                 let t0 = std::time::Instant::now();
@@ -571,7 +580,7 @@ impl<'a> Simulator<'a> {
                     let ri = a.rider.0;
                     assert!(
                         (ri as usize) < riders.len()
-                            && waiting.contains(&ri)
+                            && views.waiting_slot(a.rider).is_some()
                             && !rider_assigned[ri as usize],
                         "policy assigned unknown or unavailable rider {}",
                         a.rider
@@ -621,6 +630,13 @@ impl<'a> Simulator<'a> {
                     counts.remove_waiting(self.grid.region_of(rider.trip.pickup));
                     counts.remove_available(self.grid.region_of(pos));
                     counts.add_rejoining(self.grid.region_of(rider.trip.dropoff), dropoff_ms);
+                    views.remove_waiting(a.rider);
+                    views.remove_available(a.driver);
+                    views.add_busy(BusyDriver {
+                        id: a.driver,
+                        dropoff_ms,
+                        dropoff_pos: rider.trip.dropoff,
+                    });
                     events.push(Reverse((dropoff_ms, PRI_DROPOFF, a.driver.0)));
                     rider_assigned[ri as usize] = true;
                     served += 1;
@@ -641,7 +657,6 @@ impl<'a> Simulator<'a> {
                 for a in &batch_assignments {
                     driver_taken[a.driver.0 as usize] = false;
                 }
-                waiting.retain(|&ri| !rider_assigned[ri as usize]);
                 last_assigned = !batch_assignments.is_empty();
                 changed = false;
             }
@@ -649,7 +664,7 @@ impl<'a> Simulator<'a> {
             // 4. Advance: step Δ while the policy must keep running,
             // otherwise jump straight to the first batch slot the next
             // pending event can affect.
-            if last_assigned || (every_batch && !waiting.is_empty()) {
+            if last_assigned || (every_batch && !views.waiting().is_empty()) {
                 tick += delta;
                 continue;
             }
@@ -739,6 +754,9 @@ impl<'a> Simulator<'a> {
             index_rebuilds_avoided,
             counts_ops: counts.ops_applied() as usize,
             counts_regions_dirtied,
+            views_ops: views.ops_applied() as usize,
+            views_entries_dirtied,
+            views_rebuilds_avoided,
             assignments,
             reneges,
         }
@@ -751,7 +769,9 @@ mod tests {
     use mrvd_spatial::ConstantSpeedModel;
 
     /// Assigns every rider to the nearest valid free driver, greedily in
-    /// rider order — a minimal reference policy for engine tests.
+    /// rider-id order — a minimal reference policy for engine tests. All
+    /// ties break on ids so the output is invariant to the view order
+    /// (the live views are not id-sorted).
     struct FirstFit;
 
     impl DispatchPolicy for FirstFit {
@@ -760,14 +780,16 @@ mod tests {
         }
 
         fn assign(&mut self, ctx: &BatchContext<'_>) -> Vec<Assignment> {
+            let mut riders: Vec<&WaitingRider> = ctx.riders.iter().collect();
+            riders.sort_by_key(|r| r.id);
             let mut taken = std::collections::HashSet::new();
             let mut out = Vec::new();
-            for r in ctx.riders {
+            for r in riders {
                 let best = ctx
                     .drivers
                     .iter()
                     .filter(|d| !taken.contains(&d.id) && ctx.is_valid_pair(r, d))
-                    .min_by_key(|d| ctx.travel.travel_time_ms(d.pos, r.pickup));
+                    .min_by_key(|d| (ctx.travel.travel_time_ms(d.pos, r.pickup), d.id));
                 if let Some(d) = best {
                     taken.insert(d.id);
                     out.push(Assignment {
@@ -1333,6 +1355,23 @@ mod tests {
     }
 
     #[test]
+    fn live_views_counters_track_maintenance() {
+        let res = run(&mut FirstFit, 120, 10);
+        assert!(res.served > 0);
+        // Every executed batch ran straight off the live views…
+        assert_eq!(res.views_rebuilds_avoided, res.ticks_executed);
+        // …whose maintenance is event-driven: 10 seed adds, one add per
+        // admission, one waiting remove per assignment or renege, three
+        // mutations per assignment (waiting out, available out, busy
+        // in), two per processed dropoff (busy out, available in).
+        assert!(res.views_ops >= 10 + res.total_riders + 3 * res.served);
+        assert!(res.views_ops <= 10 + 2 * res.total_riders + 5 * res.served);
+        // A swap_remove touches at most the target and one filler.
+        assert!(res.views_entries_dirtied > 0);
+        assert!(res.views_entries_dirtied <= 2 * res.views_ops);
+    }
+
+    #[test]
     fn reference_loop_reports_zero_index_counters() {
         let grid = Grid::nyc_16x16();
         let travel = ConstantSpeedModel::new(8.0);
@@ -1352,6 +1391,59 @@ mod tests {
         assert_eq!(res.index_ops, 0);
         assert_eq!(res.index_regions_dirtied, 0);
         assert_eq!(res.index_rebuilds_avoided, 0);
+        assert_eq!(res.views_ops, 0);
+        assert_eq!(res.views_entries_dirtied, 0);
+        assert_eq!(res.views_rebuilds_avoided, 0);
+    }
+
+    #[test]
+    fn renege_heavy_day_matches_the_reference_loop_exactly() {
+        // Satellite regression for the renege path's O(1) removal: with
+        // one driver against 200 riders almost everyone reneges, so the
+        // waiting view churns through swap_removes constantly — results
+        // must stay byte-identical to the scan-built reference loop.
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let config = SimConfig {
+            horizon_ms: 3_600_000,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::new(config, &travel, &grid);
+        let mut trips = mk_trips(200);
+        // Compress the arrivals so many riders wait (and renege)
+        // concurrently, keeping the waiting view large.
+        for t in &mut trips {
+            t.request_ms /= 8;
+        }
+        let drivers = vec![Point::new(-73.974, 40.744)];
+        let fast = sim.run(&trips, &drivers, &mut FirstFit);
+        let slow = sim.run_scheduled_reference(
+            &trips,
+            &drivers,
+            &DriverSchedule::constant(1),
+            &mut FirstFit,
+        );
+        assert!(
+            fast.reneged > 100,
+            "day not renege-heavy ({})",
+            fast.reneged
+        );
+        assert_eq!(fast.served, slow.served);
+        assert_eq!(fast.reneged, slow.reneged);
+        assert_eq!(fast.total_revenue.to_bits(), slow.total_revenue.to_bits());
+        assert_eq!(fast.assignments.len(), slow.assignments.len());
+        for (a, b) in fast.assignments.iter().zip(&slow.assignments) {
+            assert_eq!(
+                (a.rider, a.driver, a.batch_ms, a.pickup_ms),
+                (b.rider, b.driver, b.batch_ms, b.pickup_ms)
+            );
+        }
+        let ids = |r: &[RenegeRecord]| {
+            let mut v: Vec<u32> = r.iter().map(|x| x.rider.0).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(ids(&fast.reneges), ids(&slow.reneges));
     }
 
     #[test]

@@ -13,14 +13,18 @@
 //! paper's batch boundaries — batch slots where nothing changed are
 //! skipped entirely (see `engine`). Alongside the driver states the
 //! engine maintains a live [`mrvd_spatial::RegionIndex`] of the
-//! available fleet and live per-region batch-state counts
+//! available fleet, live per-region batch-state counts
 //! ([`RegionCounts`]: waiting riders, available drivers, rejoin-time
-//! multisets), both updated incrementally at those same event times and
+//! multisets), and the live policy-facing batch views themselves
+//! ([`BatchViews`]: the waiting / available / busy slices with id→slot
+//! maps), all updated incrementally at those same event times and
 //! exposed to policies via [`BatchContext::avail_index`] /
-//! [`BatchContext::region_counts`], so neither candidate generation nor
-//! rate estimation rebuilds state that did not change. The literal per-Δ
-//! loop survives as [`Simulator::run_scheduled_reference`] (no skipping,
-//! no live index, no live counts) for differential testing.
+//! [`BatchContext::region_counts`] / [`BatchContext::views`], so an
+//! executed batch does zero full fleet or rider scans — candidate
+//! generation, rate estimation and view construction are all
+//! `O(changes)`. The literal per-Δ loop survives as
+//! [`Simulator::run_scheduled_reference`] (no skipping, no live index,
+//! no live counts, scan-built views) for differential testing.
 //!
 //! The simulator is deterministic given its seed, enforces the paper's
 //! validity constraint (Definition 3: the driver must reach the pickup
@@ -39,6 +43,7 @@ pub mod policy;
 pub mod reference;
 pub mod schedule;
 pub mod types;
+pub mod views;
 
 pub use counts::RegionCounts;
 pub use engine::{SimConfig, Simulator};
@@ -48,3 +53,4 @@ pub use policy::{
 };
 pub use schedule::DriverSchedule;
 pub use types::{DriverId, Millis, RiderId};
+pub use views::BatchViews;

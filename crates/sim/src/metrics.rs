@@ -114,6 +114,22 @@ pub struct SimResult {
     /// `ticks_executed × num_regions` are what make incremental rate
     /// estimation pay off.
     pub counts_regions_dirtied: usize,
+    /// Mutations applied to the live batch views ([`crate::BatchViews`]:
+    /// the waiting/available/busy slices policies see) while maintaining
+    /// them incrementally across the whole run. Zero under the legacy
+    /// reference loop, which rebuilds the views by full scans every batch.
+    pub views_ops: usize,
+    /// Cumulative count of view entries touched between consecutive
+    /// *executed* batches (adds plus swap_remove targets and relocated
+    /// fillers, drained at each policy invocation). Low numbers relative
+    /// to `ticks_executed × world size` are what make the incremental
+    /// views pay off.
+    pub views_entries_dirtied: usize,
+    /// Policy invocations that were handed the live views instead of the
+    /// engine rebuilding them from full rider/fleet scans — equals
+    /// [`SimResult::ticks_executed`] under the event engine, zero under
+    /// the legacy reference loop.
+    pub views_rebuilds_avoided: usize,
     /// Complete assignment log (chronological).
     pub assignments: Vec<AssignmentRecord>,
     /// Complete renege log (chronological).
@@ -256,6 +272,9 @@ mod tests {
             index_rebuilds_avoided: 0,
             counts_ops: 0,
             counts_regions_dirtied: 0,
+            views_ops: 0,
+            views_entries_dirtied: 0,
+            views_rebuilds_avoided: 0,
             assignments: vec![
                 // Driver 0: drops off at 100_000, estimated idle 30 s,
                 // next assignment at batch 140_000 → realized 40 s.
@@ -288,6 +307,9 @@ mod tests {
             index_rebuilds_avoided: 0,
             counts_ops: 0,
             counts_regions_dirtied: 0,
+            views_ops: 0,
+            views_entries_dirtied: 0,
+            views_rebuilds_avoided: 0,
             assignments: vec![
                 rec(0, 10_000, 10_000, 100_000, None),
                 rec(0, 140_000, 40_000, 200_000, None),
@@ -318,6 +340,9 @@ mod tests {
             index_rebuilds_avoided: 0,
             counts_ops: 0,
             counts_regions_dirtied: 0,
+            views_ops: 0,
+            views_entries_dirtied: 0,
+            views_rebuilds_avoided: 0,
             assignments: vec![],
             reneges: vec![],
         };
@@ -346,6 +371,9 @@ mod tests {
             index_rebuilds_avoided: 0,
             counts_ops: 0,
             counts_regions_dirtied: 0,
+            views_ops: 0,
+            views_entries_dirtied: 0,
+            views_rebuilds_avoided: 0,
             assignments: vec![],
             reneges: vec![],
         };

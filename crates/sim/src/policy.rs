@@ -5,6 +5,7 @@ use mrvd_spatial::{Grid, Point, RegionIndex, TravelModel};
 
 use crate::counts::RegionCounts;
 use crate::types::{DriverId, Millis, RiderId};
+use crate::views::BatchViews;
 
 /// A rider currently waiting for a pickup.
 #[derive(Debug, Clone, Copy)]
@@ -67,11 +68,11 @@ pub struct BatchContext<'a> {
     ///
     /// When present, it is guaranteed to be consistent with
     /// [`BatchContext::drivers`]: same driver set, same positions, built
-    /// over [`BatchContext::grid`], with `drivers` sorted by ascending
-    /// [`DriverId`] so [`BatchContext::driver_slot`] can translate index
-    /// hits back to slice positions. Candidate generation uses it to skip
-    /// the per-batch index rebuild (drivers only move at dropoffs, so
-    /// consecutive batches share almost all spatial state).
+    /// over [`BatchContext::grid`]; [`BatchContext::driver_slot`]
+    /// translates index hits back to slice positions. Candidate
+    /// generation uses it to skip the per-batch index rebuild (drivers
+    /// only move at dropoffs, so consecutive batches share almost all
+    /// spatial state).
     pub avail_index: Option<&'a RegionIndex<DriverId>>,
     /// The engine's incrementally maintained per-region batch-state
     /// counts, when live (`None` under the legacy reference loop and in
@@ -85,6 +86,19 @@ pub struct BatchContext<'a> {
     /// estimation uses it to skip the per-batch rider/driver/busy scans
     /// (see `mrvd-core`'s `RateTracker`).
     pub region_counts: Option<&'a RegionCounts>,
+    /// The engine's incrementally maintained batch views, when live
+    /// (`None` under the legacy reference loop and in hand-built
+    /// contexts).
+    ///
+    /// When present, [`BatchContext::riders`], [`BatchContext::drivers`]
+    /// and [`BatchContext::busy`] are exactly its waiting / available /
+    /// busy slices, and its id→slot maps answer membership and slot
+    /// queries in `O(1)` ([`BatchContext::driver_slot`] uses the
+    /// available-driver map). Note the slices are **not** id-sorted: the
+    /// views keep slots stable under `swap_remove`, and every policy
+    /// breaks ties on rider/driver ids so its output is invariant to the
+    /// view order.
+    pub views: Option<&'a BatchViews>,
 }
 
 impl BatchContext<'_> {
@@ -95,15 +109,21 @@ impl BatchContext<'_> {
         self.now_ms + t <= rider.deadline_ms
     }
 
-    /// Position of `id` in [`BatchContext::drivers`], by binary search —
-    /// the engine lists available drivers in ascending id order. Returns
-    /// `None` for drivers not in the batch (busy, offline, unknown).
+    /// Position of `id` in [`BatchContext::drivers`] — `O(1)` through the
+    /// live views' id→slot map when the engine supplied one, a linear
+    /// scan in hand-built contexts. Returns `None` for drivers not in
+    /// the batch (busy, offline, unknown).
     pub fn driver_slot(&self, id: DriverId) -> Option<usize> {
-        debug_assert!(
-            self.drivers.windows(2).all(|w| w[0].id < w[1].id),
-            "BatchContext::drivers must be sorted by ascending id"
-        );
-        self.drivers.binary_search_by_key(&id, |d| d.id).ok()
+        if let Some(views) = self.views {
+            let slot = views.avail_slot(id);
+            debug_assert_eq!(
+                slot,
+                self.drivers.iter().position(|d| d.id == id),
+                "live views diverged from BatchContext::drivers"
+            );
+            return slot;
+        }
+        self.drivers.iter().position(|d| d.id == id)
     }
 }
 
@@ -202,16 +222,18 @@ mod tests {
             grid: &grid,
             avail_index: None,
             region_counts: None,
+            views: None,
         };
         assert!(ctx.is_valid_pair(&rider, &near));
         assert!(!ctx.is_valid_pair(&rider, &far));
     }
 
     #[test]
-    fn driver_slot_finds_drivers_by_binary_search() {
+    fn driver_slot_finds_drivers_in_any_view_order() {
         let grid = Grid::nyc_16x16();
         let travel = ConstantSpeedModel::new(10.0);
-        let drivers: Vec<AvailableDriver> = [0u32, 3, 7]
+        // Deliberately not id-sorted: the live views permute slots.
+        let drivers: Vec<AvailableDriver> = [7u32, 0, 3]
             .iter()
             .map(|&i| AvailableDriver {
                 id: DriverId(i),
@@ -219,18 +241,26 @@ mod tests {
                 available_since_ms: 0,
             })
             .collect();
-        let ctx = BatchContext {
-            now_ms: 0,
-            riders: &[],
-            drivers: &drivers,
-            busy: &[],
-            travel: &travel,
-            grid: &grid,
-            avail_index: None,
-            region_counts: None,
-        };
-        assert_eq!(ctx.driver_slot(DriverId(0)), Some(0));
-        assert_eq!(ctx.driver_slot(DriverId(7)), Some(2));
-        assert_eq!(ctx.driver_slot(DriverId(5)), None);
+        let mut views = BatchViews::new();
+        for d in &drivers {
+            views.add_available(*d);
+        }
+        for views in [None, Some(&views)] {
+            let ctx = BatchContext {
+                now_ms: 0,
+                riders: &[],
+                drivers: &drivers,
+                busy: &[],
+                travel: &travel,
+                grid: &grid,
+                avail_index: None,
+                region_counts: None,
+                views,
+            };
+            assert_eq!(ctx.driver_slot(DriverId(7)), Some(0));
+            assert_eq!(ctx.driver_slot(DriverId(0)), Some(1));
+            assert_eq!(ctx.driver_slot(DriverId(3)), Some(2));
+            assert_eq!(ctx.driver_slot(DriverId(5)), None);
+        }
     }
 }

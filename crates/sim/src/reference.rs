@@ -32,9 +32,10 @@ impl Simulator<'_> {
     /// their phase start, and the policy is invoked at *every* batch
     /// slot ([`SimResult::ticks_executed`] equals
     /// [`SimResult::batches`], and [`SimResult::events_processed`] is 0
-    /// since this loop scans instead of queueing events; the
-    /// index-maintenance counters are likewise 0 because no live
-    /// candidate index exists here — policies rebuild their own every
+    /// since this loop scans instead of queueing events; the index-,
+    /// counts- and views-maintenance counters are likewise 0 because no
+    /// live structures exist here — policies rebuild their own candidate
+    /// index and the loop rebuilds the batch views by full scans every
     /// batch). Counts, revenue and assignments are identical to the
     /// event core on Δ-aligned schedules.
     ///
@@ -226,6 +227,7 @@ impl Simulator<'_> {
                 // which is exactly the differential this loop exists for.
                 avail_index: None,
                 region_counts: None,
+                views: None,
             };
 
             // 5. Run the policy, timed.
@@ -354,6 +356,9 @@ impl Simulator<'_> {
             index_rebuilds_avoided: 0,
             counts_ops: 0,
             counts_regions_dirtied: 0,
+            views_ops: 0,
+            views_entries_dirtied: 0,
+            views_rebuilds_avoided: 0,
             assignments,
             reneges,
         }

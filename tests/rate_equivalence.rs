@@ -91,6 +91,16 @@ impl DispatchPolicy for RateAudit {
             "live counts totals diverged from the views at {}",
             ctx.now_ms
         );
+        // …and the context's three slices must *be* the live views — the
+        // engine stopped scan-building them, there is no other source.
+        let views = ctx.views.expect("engine must hand live views");
+        assert!(
+            std::ptr::eq(views.waiting(), ctx.riders)
+                && std::ptr::eq(views.available(), ctx.drivers)
+                && std::ptr::eq(views.busy(), ctx.busy),
+            "context slices are not the live views at {}",
+            ctx.now_ms
+        );
         self.tracker.begin_batch(ctx, &upcoming, &self.cfg);
         for (k, et_eager) in ets.iter().enumerate() {
             assert_eq!(

@@ -1,0 +1,222 @@
+//! Property-based equivalence for the engine's live batch views: under
+//! random event sequences — admissions, reneges, assignments, dropoffs,
+//! and the shift-change traffic of drivers appearing, parking and
+//! retiring — the incrementally maintained [`BatchViews`] must hold
+//! exactly the memberships a from-scratch scan rebuild produces, with
+//! every id→slot map entry pointing at its own record. Order is *not*
+//! part of the contract (swap-removes permute the slot vectors); the
+//! policies are permutation-invariant by their id tie-breaks, which the
+//! engine batteries pin separately.
+
+use mrvd::sim::{AvailableDriver, BatchViews, BusyDriver, DriverId, RiderId, WaitingRider};
+use mrvd::spatial::Point;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The naive model: plain id-keyed sets of the three memberships.
+#[derive(Default)]
+struct Model {
+    waiting: Vec<WaitingRider>,
+    available: Vec<AvailableDriver>,
+    busy: Vec<BusyDriver>,
+}
+
+fn rider(id: u32, t: u64) -> WaitingRider {
+    WaitingRider {
+        id: RiderId(id),
+        pickup: Point::new(-73.98, 40.75),
+        dropoff: Point::new(-73.90, 40.80),
+        request_ms: t,
+        deadline_ms: t + 120_000,
+    }
+}
+
+fn avail(id: u32, t: u64) -> AvailableDriver {
+    AvailableDriver {
+        id: DriverId(id),
+        pos: Point::new(-73.95, 40.77),
+        available_since_ms: t,
+    }
+}
+
+fn busy(id: u32, t: u64) -> BusyDriver {
+    BusyDriver {
+        id: DriverId(id),
+        dropoff_ms: t + 600_000,
+        dropoff_pos: Point::new(-73.88, 40.82),
+    }
+}
+
+/// Checks the live views against a scan rebuild of the model: identical
+/// memberships (as id sets, with matching payload timestamps) and every
+/// slot map entry pointing at its own record.
+fn assert_matches_rebuild(views: &BatchViews, model: &Model) {
+    let mut reference = BatchViews::new();
+    reference.rebuild_reference(
+        model.waiting.iter().copied(),
+        model.available.iter().copied(),
+        model.busy.iter().copied(),
+    );
+    let key_w = |v: &BatchViews| {
+        let mut k: Vec<(u32, u64)> = v.waiting().iter().map(|r| (r.id.0, r.request_ms)).collect();
+        k.sort_unstable();
+        k
+    };
+    let key_a = |v: &BatchViews| {
+        let mut k: Vec<(u32, u64)> = v
+            .available()
+            .iter()
+            .map(|d| (d.id.0, d.available_since_ms))
+            .collect();
+        k.sort_unstable();
+        k
+    };
+    let key_b = |v: &BatchViews| {
+        let mut k: Vec<(u32, u64)> = v.busy().iter().map(|d| (d.id.0, d.dropoff_ms)).collect();
+        k.sort_unstable();
+        k
+    };
+    assert_eq!(key_w(views), key_w(&reference), "waiting membership");
+    assert_eq!(key_a(views), key_a(&reference), "available membership");
+    assert_eq!(key_b(views), key_b(&reference), "busy membership");
+    for (slot, r) in views.waiting().iter().enumerate() {
+        assert_eq!(views.waiting_slot(r.id), Some(slot), "waiting slot map");
+    }
+    for (slot, d) in views.available().iter().enumerate() {
+        assert_eq!(views.avail_slot(d.id), Some(slot), "available slot map");
+    }
+    for (slot, d) in views.busy().iter().enumerate() {
+        assert_eq!(views.busy_slot(d.id), Some(slot), "busy slot map");
+    }
+}
+
+proptest! {
+    /// Random event sequences — each step applies one of the engine's
+    /// real transitions (admission, renege, assignment, dropoff, a
+    /// driver waking on shift, parking off shift, or retiring straight
+    /// out of a trip) — and the live views stay equal to a scan rebuild
+    /// at every checkpoint.
+    #[test]
+    fn live_views_match_scan_rebuild_on_random_event_sequences(seed in 0u64..64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut views = BatchViews::new();
+        let mut model = Model::default();
+        let mut next_rider = 0u32;
+        let mut offline: Vec<u32> = (0..rng.gen_range(1u32..12)).collect();
+        let n_steps = rng.gen_range(30usize..160);
+        let mut ops_before = views.ops_applied();
+        for step in 0..n_steps {
+            let t = step as u64 * 1_000;
+            match rng.gen_range(0u8..7) {
+                // Admission: a new rider starts waiting.
+                0 => {
+                    let r = rider(next_rider, t);
+                    next_rider += 1;
+                    model.waiting.push(r);
+                    views.add_waiting(r);
+                }
+                // Renege: a waiting rider leaves unserved.
+                1 if !model.waiting.is_empty() => {
+                    let i = rng.gen_range(0..model.waiting.len());
+                    let r = model.waiting.swap_remove(i);
+                    views.remove_waiting(r.id);
+                }
+                // Assignment: a waiting rider pairs with an available
+                // driver, who goes busy.
+                2 if !model.waiting.is_empty() && !model.available.is_empty() => {
+                    let i = rng.gen_range(0..model.waiting.len());
+                    let r = model.waiting.swap_remove(i);
+                    views.remove_waiting(r.id);
+                    let j = rng.gen_range(0..model.available.len());
+                    let d = model.available.swap_remove(j);
+                    views.remove_available(d.id);
+                    let b = busy(d.id.0, t);
+                    model.busy.push(b);
+                    views.add_busy(b);
+                }
+                // Dropoff: a busy driver rejoins the available pool.
+                3 if !model.busy.is_empty() => {
+                    let i = rng.gen_range(0..model.busy.len());
+                    let b = model.busy.swap_remove(i);
+                    views.remove_busy(b.id);
+                    let d = avail(b.id.0, t);
+                    model.available.push(d);
+                    views.add_available(d);
+                }
+                // Shift on: an offline driver wakes up available.
+                4 if !offline.is_empty() => {
+                    let i = rng.gen_range(0..offline.len());
+                    let id = offline.swap_remove(i);
+                    let d = avail(id + 1_000, t);
+                    model.available.push(d);
+                    views.add_available(d);
+                }
+                // Shift off: an idle driver parks immediately.
+                5 if !model.available.is_empty() => {
+                    let j = rng.gen_range(0..model.available.len());
+                    let d = model.available.swap_remove(j);
+                    views.remove_available(d.id);
+                }
+                // Retire mid-trip: a ramped-down busy driver leaves the
+                // fleet at dropoff instead of rejoining.
+                6 if !model.busy.is_empty() => {
+                    let i = rng.gen_range(0..model.busy.len());
+                    let b = model.busy.swap_remove(i);
+                    views.remove_busy(b.id);
+                }
+                _ => {}
+            }
+            // Batch boundary every few events: check equality and drain
+            // the dirty counter exactly as the engine does.
+            if step % 5 == 4 {
+                assert_matches_rebuild(&views, &model);
+                let ops_since = views.ops_applied() - ops_before;
+                prop_assert!(
+                    (views.entries_dirtied() as u64) <= 2 * ops_since,
+                    "each op dirties at most the target and one relocated filler"
+                );
+                views.clear_dirty();
+                ops_before = views.ops_applied();
+            }
+        }
+        assert_matches_rebuild(&views, &model);
+    }
+
+    /// A scan rebuild mid-sequence resets the structure to a consistent
+    /// state the incremental path can keep extending.
+    #[test]
+    fn incremental_path_continues_cleanly_after_a_rebuild(seed in 0u64..16) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let mut views = BatchViews::new();
+        let mut model = Model::default();
+        for i in 0..rng.gen_range(1u32..20) {
+            let r = rider(i, 0);
+            model.waiting.push(r);
+            views.add_waiting(r);
+            let d = avail(i, 0);
+            model.available.push(d);
+            views.add_available(d);
+        }
+        // Rebuild from the model (as the reference loop would): the scan
+        // replaces all state but counts neither ops nor dirty entries.
+        let ops = views.ops_applied();
+        views.clear_dirty();
+        views.rebuild_reference(
+            model.waiting.iter().copied(),
+            model.available.iter().copied(),
+            model.busy.iter().copied(),
+        );
+        prop_assert_eq!(views.ops_applied(), ops, "rebuild counts no live ops");
+        prop_assert_eq!(views.entries_dirtied(), 0);
+        // …then keep mutating incrementally.
+        let r = model.waiting.swap_remove(0);
+        views.remove_waiting(r.id);
+        let d = model.available.swap_remove(0);
+        views.remove_available(d.id);
+        let b = busy(d.id.0, 1_000);
+        model.busy.push(b);
+        views.add_busy(b);
+        assert_matches_rebuild(&views, &model);
+    }
+}
