@@ -42,7 +42,7 @@ pub mod upper;
 pub use baselines::{Ltg, Near, Rand};
 pub use candidates::{valid_candidates, valid_candidates_with, CandidateScratch, CandidateSet};
 pub use config::DispatchConfig;
-pub use oracle::DemandOracle;
+pub use oracle::{DemandOracle, SparseUpcoming};
 pub use polar::{Polar, PolarConfig};
 pub use queueing_policy::{PriorityRule, QueueingPolicy, SearchMode};
 pub use rate_tracker::{RateTracker, RateTrackerStats};

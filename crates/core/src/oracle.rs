@@ -168,6 +168,110 @@ impl DemandOracle {
     }
 }
 
+/// Reusable sparse evaluation of [`DemandOracle::upcoming_riders_into`].
+///
+/// At city scale the dense per-batch `clear + resize` over
+/// `num_regions` entries becomes the hot path even though demand is
+/// concentrated in a small set of regions. `SparseUpcoming` keeps the
+/// same dense `values` buffer policies already consume, but only
+/// re-zeroes the entries the *previous* batch set (`active`) and only
+/// accumulates over the union of regions whose slot frames carry a
+/// nonzero bit pattern anywhere in the window. The union is cached per
+/// `(base slot, last slot)` window — between 30-simulated-minute slot
+/// boundaries a batch pays O(active ∪ union), not O(num_regions).
+///
+/// Bit-identity with the dense path is unconditional: membership uses
+/// the bit pattern (`v.to_bits() != 0`, so a `-0.0` frame entry counts
+/// as demand), every excluded region therefore sees only exact `+0.0`
+/// frame values — which leave the dense accumulator at `+0.0`, the very
+/// value the sparse path leaves untouched — and included regions
+/// accumulate the same `overlap × frame` products in the same slot
+/// order as the dense loop.
+#[derive(Default)]
+pub struct SparseUpcoming {
+    values: Vec<f64>,
+    /// Regions written by the last [`SparseUpcoming::compute`] — the
+    /// entries to re-zero on the next call.
+    active: Vec<u32>,
+    /// Cache key of `union`: the `(base slot, last slot)` window it was
+    /// built for.
+    window: Option<(usize, usize)>,
+    /// Sorted regions whose frame value has a nonzero bit pattern in
+    /// any slot of the cached window.
+    union: Vec<u32>,
+}
+
+impl SparseUpcoming {
+    /// Fills [`SparseUpcoming::values`] exactly as
+    /// [`DemandOracle::upcoming_riders_into`] would, touching only the
+    /// previously-active and currently-demanded regions.
+    pub fn compute(&mut self, oracle: &DemandOracle, now_ms: u64, tc_ms: u64) {
+        let regions = oracle.regions();
+        if self.values.len() != regions {
+            self.values.clear();
+            self.values.resize(regions, 0.0);
+            self.active.clear();
+            self.window = None;
+        }
+        for &r in &self.active {
+            self.values[r as usize] = 0.0;
+        }
+        self.active.clear();
+        let spd = match oracle {
+            DemandOracle::Real { series, .. } | DemandOracle::Predicted { series, .. } => {
+                series.slots_per_day()
+            }
+        };
+        let end_ms = (now_ms + tc_ms).min(spd as u64 * SLOT_MS);
+        if now_ms >= end_ms {
+            return;
+        }
+        let s0 = (now_ms / SLOT_MS) as usize;
+        let s_last = (((end_ms - 1) / SLOT_MS) as usize).min(spd - 1);
+        if self.window != Some((s0, s_last)) {
+            self.union.clear();
+            for s in s0..=s_last {
+                let union = &mut self.union;
+                oracle.with_slot_counts(s0, s, |frame| {
+                    for (r, &v) in frame.iter().enumerate() {
+                        if v.to_bits() != 0 {
+                            union.push(r as u32);
+                        }
+                    }
+                });
+            }
+            self.union.sort_unstable();
+            self.union.dedup();
+            self.window = Some((s0, s_last));
+        }
+        for s in s0..=s_last {
+            let slot_start = s as u64 * SLOT_MS;
+            let slot_end = slot_start + SLOT_MS;
+            let overlap = (end_ms.min(slot_end) - now_ms.max(slot_start)) as f64 / SLOT_MS as f64;
+            let (values, union) = (&mut self.values, &self.union);
+            oracle.with_slot_counts(s0, s, |frame| {
+                for &r in union {
+                    values[r as usize] += overlap * frame[r as usize];
+                }
+            });
+        }
+        self.active.extend_from_slice(&self.union);
+    }
+
+    /// The dense per-region expected-rider buffer (length = region
+    /// count); identical bit-for-bit to what the dense path fills.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Regions the last [`SparseUpcoming::compute`] wrote — a superset
+    /// of the regions with nonzero [`SparseUpcoming::values`], sorted
+    /// ascending.
+    pub fn active(&self) -> &[u32] {
+        &self.active
+    }
+}
+
 impl ForecastCache {
     /// Makes `frames[slot - base_slot]` available: on a base-slot change
     /// the scratch series is re-synchronized with the realized series and
@@ -338,6 +442,83 @@ mod tests {
         // An empty window yields zeros, not stale values.
         o.upcoming_riders_into(SLOT_MS, 0, &mut buf);
         assert_eq!(buf, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn sparse_upcoming_matches_dense_bitwise() {
+        // 6 regions: 0–2 carry demand, 3 is always +0.0, 4 holds a
+        // -0.0 (nonzero bit pattern — must stay in the union), 5 is
+        // +0.0 except one slot.
+        let s = DemandSeries::from_fn(3, 4, 6, |d, t, r| match r {
+            3 => 0.0,
+            4 => -0.0,
+            5 => {
+                if t == 2 {
+                    7.5
+                } else {
+                    0.0
+                }
+            }
+            _ => (d * 4 + t) as f64 + r as f64 * 0.1,
+        });
+        let o = DemandOracle::real(s, 2);
+        let mut sparse = SparseUpcoming::default();
+        let mut dense = Vec::new();
+        let windows = [
+            (0, SLOT_MS),                // slot 0 only
+            (SLOT_MS / 2, SLOT_MS),      // spans slots 0–1, same union? no: new window
+            (SLOT_MS / 2 + 1, SLOT_MS),  // same (s0, s_last) → cached union
+            (2 * SLOT_MS, SLOT_MS / 3),  // slot 2 (region 5 active)
+            (3 * SLOT_MS, 10 * SLOT_MS), // truncated at day end
+            (4 * SLOT_MS, SLOT_MS),      // empty window
+            (SLOT_MS, 0),                // empty window
+            (SLOT_MS, 2 * SLOT_MS),      // back to a live window
+        ];
+        for (now, tc) in windows {
+            sparse.compute(&o, now, tc);
+            o.upcoming_riders_into(now, tc, &mut dense);
+            assert_eq!(sparse.values().len(), dense.len());
+            for (k, (a, b)) in sparse.values().iter().zip(&dense).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "region {k} diverged at now={now} tc={tc}: sparse {a} dense {b}"
+                );
+            }
+            // Every nonzero value is covered by the active list.
+            for (k, v) in sparse.values().iter().enumerate() {
+                if v.to_bits() != 0 {
+                    assert!(sparse.active().contains(&(k as u32)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_upcoming_matches_dense_for_the_predicted_oracle() {
+        let s = series();
+        let mut ha = HistoricalAverage;
+        use mrvd_prediction::Predictor as _;
+        ha.fit(&s, 2);
+        let o = DemandOracle::predicted(Box::new(HistoricalAverage), s.clone(), 2);
+        let reference = DemandOracle::predicted(Box::new(HistoricalAverage), s, 2);
+        let mut sparse = SparseUpcoming::default();
+        let mut dense = Vec::new();
+        // Walk the day forward across base advances — both oracles see
+        // the same call sequence so their forecast caches stay in step.
+        for (now, tc) in [
+            (0, 2 * SLOT_MS),
+            (SLOT_MS / 2, 2 * SLOT_MS),
+            (SLOT_MS, 3 * SLOT_MS),
+            (2 * SLOT_MS, SLOT_MS),
+            (3 * SLOT_MS, 10 * SLOT_MS),
+        ] {
+            sparse.compute(&o, now, tc);
+            reference.upcoming_riders_into(now, tc, &mut dense);
+            let bits: Vec<u64> = sparse.values().iter().map(|v| v.to_bits()).collect();
+            let dense_bits: Vec<u64> = dense.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, dense_bits, "diverged at now={now}");
+        }
     }
 
     #[test]

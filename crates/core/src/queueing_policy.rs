@@ -28,7 +28,7 @@ use mrvd_sim::{Assignment, BatchContext, DispatchPolicy};
 
 use crate::candidates::{valid_candidates_with, CandidateScratch};
 use crate::config::DispatchConfig;
-use crate::oracle::DemandOracle;
+use crate::oracle::{DemandOracle, SparseUpcoming};
 use crate::rate_tracker::{RateTracker, RateTrackerStats};
 use crate::rates::{estimate_rates, idle_ratio};
 
@@ -63,10 +63,21 @@ pub struct QueueingPolicy {
     /// Incremental rate state, reused across batches (the per-batch
     /// λ/μ/K/ET buffers live here — nothing is cloned per batch).
     tracker: RateTracker,
-    /// Reused buffer for the oracle's `|R̂_k|` window counts.
+    /// Reused buffer for the oracle's `|R̂_k|` window counts — only the
+    /// reference-rates path fills it densely; the hot path goes through
+    /// `sparse_upcoming`.
     upcoming: Vec<f64>,
+    /// Sparse evaluation of the oracle window for the hot path: touches
+    /// O(active regions) per batch instead of O(num_regions),
+    /// bit-identical to the dense buffer.
+    sparse_upcoming: SparseUpcoming,
     /// Reused per-region version stamps for the lazy greedy heap.
+    /// Invariant between batches: all zero — `version_touched` undoes
+    /// every bump at the end of a batch, so no per-batch
+    /// O(num_regions) clear is needed.
     version: Vec<u32>,
+    /// Destination regions whose version stamp the current batch bumped.
+    version_touched: Vec<u32>,
 }
 
 impl QueueingPolicy {
@@ -89,7 +100,9 @@ impl QueueingPolicy {
             scratch: CandidateScratch::new(),
             tracker: RateTracker::new(),
             upcoming: Vec::new(),
+            sparse_upcoming: SparseUpcoming::default(),
             version: Vec::new(),
+            version_touched: Vec::new(),
         }
     }
 
@@ -169,18 +182,26 @@ impl DispatchPolicy for QueueingPolicy {
             return Vec::new();
         }
         // Algorithm 1, lines 3–6: region state and rates — incremental
-        // counts and lazy idle times by default, the verbatim eager
-        // estimator under `reference_rates` (byte-identical outputs; the
+        // counts, sparse per-batch buffers and lazy idle times by
+        // default, the verbatim eager estimator over a dense oracle
+        // buffer under `reference_rates` (byte-identical outputs; the
         // equivalence batteries pin it). Either way the per-batch state
-        // lives in tracker-owned buffers reused across batches.
-        self.oracle
-            .upcoming_riders_into(ctx.now_ms, self.cfg.tc_ms, &mut self.upcoming);
+        // lives in policy/tracker-owned buffers reused across batches.
         if self.cfg.reference_rates {
+            self.oracle
+                .upcoming_riders_into(ctx.now_ms, self.cfg.tc_ms, &mut self.upcoming);
             let est = estimate_rates(ctx, &self.upcoming, &self.cfg);
             let ets = est.expected_idle_times(&self.cfg);
             self.tracker.load_reference(&est, &ets);
         } else {
-            self.tracker.begin_batch(ctx, &self.upcoming, &self.cfg);
+            self.sparse_upcoming
+                .compute(&self.oracle, ctx.now_ms, self.cfg.tc_ms);
+            self.tracker.begin_batch_sparse(
+                ctx,
+                self.sparse_upcoming.values(),
+                self.sparse_upcoming.active(),
+                &self.cfg,
+            );
         }
 
         // Valid pairs (Algorithm 2, lines 3–5).
@@ -204,8 +225,14 @@ impl DispatchPolicy for QueueingPolicy {
         // (At most one live entry exists per (rider, driver) pair: each is
         // pushed once up front, and a stale entry is popped before its
         // re-keyed copy is pushed, so the id tie-break is a total order.)
-        self.version.clear();
-        self.version.resize(ctx.grid.num_regions(), 0);
+        if self.version.len() != ctx.grid.num_regions() {
+            self.version.clear();
+            self.version.resize(ctx.grid.num_regions(), 0);
+        }
+        debug_assert!(
+            self.version.iter().all(|&v| v == 0),
+            "version stamps must be zero between batches"
+        );
         type Entry = Reverse<(OrdF64, u64, u32, u32, usize, usize, u32)>;
         let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
         for (r, cand) in cands.pairs.iter().enumerate() {
@@ -260,6 +287,12 @@ impl DispatchPolicy for QueueingPolicy {
             // Line 11: the driver will rejoin at the destination — bump μ.
             self.tracker.bump_mu(dest, &self.cfg);
             self.version[dest] = self.version[dest].wrapping_add(1);
+            self.version_touched.push(dest as u32);
+        }
+        // Restore the all-zero invariant without an O(num_regions)
+        // clear: only bumped destinations moved off zero.
+        for k in self.version_touched.drain(..) {
+            self.version[k as usize] = 0;
         }
 
         // Local search refinement (Algorithm 3). The sweep visits drivers

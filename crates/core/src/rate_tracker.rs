@@ -28,7 +28,7 @@
 //! [`RateTracker::load_reference`] lets a policy run the reference
 //! estimator end-to-end while sharing the greedy machinery.
 
-use mrvd_sim::BatchContext;
+use mrvd_sim::{BatchContext, RegionCounts};
 use mrvd_spatial::RegionId;
 
 use crate::config::DispatchConfig;
@@ -63,6 +63,13 @@ pub struct RateTracker {
     /// `et[k]` is valid for the current batch iff `et_epoch[k] == epoch`.
     et_epoch: Vec<u64>,
     epoch: u64,
+    /// Regions the last *sparse* batch set away from the all-zero
+    /// baseline — exactly the entries the next sparse batch re-zeroes.
+    touched: Vec<u32>,
+    /// Set when a dense fill (reference load, scan fallback, resize)
+    /// left entries outside `touched` non-baseline; the next sparse
+    /// batch then does one full reset before going incremental.
+    dense_dirty: bool,
     batches: u64,
     live_batches: u64,
     ets_computed: u64,
@@ -84,6 +91,8 @@ impl RateTracker {
             self.capacity_k.resize(n, 0);
             self.et.resize(n, 0.0);
             self.et_epoch.resize(n, 0);
+            // Surviving entries of the old size may be non-baseline.
+            self.dense_dirty = true;
         }
         // A new epoch lazily invalidates every cached idle time.
         self.epoch += 1;
@@ -155,6 +164,114 @@ impl RateTracker {
             self.mu[k] = m;
             self.capacity_k[k] = c;
         }
+        // Every region was written — the next sparse batch must reset
+        // densely rather than trust its touched list.
+        self.dense_dirty = true;
+    }
+
+    /// The sparse counterpart of [`RateTracker::begin_batch`] for the
+    /// city-scale hot path: instead of writing all `num_regions` entries
+    /// it resets only the regions the previous sparse batch touched and
+    /// fills only the union of the engine's
+    /// [`RegionCounts::occupied_regions`] (a superset of every region
+    /// with a waiting rider, available driver or pending rejoin) and
+    /// `upcoming_active` (the oracle regions with nonzero window
+    /// demand, e.g. [`crate::oracle::SparseUpcoming::active`]). Every
+    /// other region keeps the exact `(0, 0, 0, +0.0, +0.0, K=0)`
+    /// baseline — bit-identical to what the dense loop computes for it,
+    /// since [`region_rates`] of all-zero inputs is the baseline.
+    ///
+    /// Without consistent live counts this falls back to the dense scan
+    /// path (there is no occupied list to go sparse with).
+    ///
+    /// # Panics
+    /// Panics if `upcoming` does not cover the grid's regions.
+    pub fn begin_batch_sparse(
+        &mut self,
+        ctx: &BatchContext<'_>,
+        upcoming: &[f64],
+        upcoming_active: &[u32],
+        cfg: &DispatchConfig,
+    ) {
+        let n = ctx.grid.num_regions();
+        let live_ok = ctx.region_counts.is_some_and(|rc| {
+            rc.num_regions() == n
+                && rc.totals() == (ctx.riders.len(), ctx.drivers.len(), ctx.busy.len())
+        });
+        if !live_ok {
+            self.begin_batch(ctx, upcoming, cfg);
+            return;
+        }
+        assert_eq!(
+            upcoming.len(),
+            n,
+            "RateTracker::begin_batch_sparse: oracle regions != grid regions"
+        );
+        self.resize(n);
+        self.live_batches += 1;
+        let rc = ctx.region_counts.expect("live_ok checked above");
+        if self.dense_dirty {
+            self.waiting.fill(0);
+            self.available.fill(0);
+            self.rejoining.fill(0);
+            self.lambda.fill(0.0);
+            self.mu.fill(0.0);
+            self.capacity_k.fill(0);
+            self.touched.clear();
+            self.dense_dirty = false;
+        } else {
+            let mut touched = std::mem::take(&mut self.touched);
+            for &k in &touched {
+                let k = k as usize;
+                self.waiting[k] = 0;
+                self.available[k] = 0;
+                self.rejoining[k] = 0;
+                self.lambda[k] = 0.0;
+                self.mu[k] = 0.0;
+                self.capacity_k[k] = 0;
+            }
+            touched.clear();
+            self.touched = touched;
+        }
+        let window_end = ctx.now_ms + cfg.tc_ms;
+        let tc_s = cfg.tc_s();
+        // Duplicates between the two lists (and inside the occupied
+        // superset) are harmless: every write is an idempotent set.
+        for &r in rc.occupied_regions() {
+            let k = r.idx();
+            self.fill_region(rc, k, ctx.now_ms, window_end, upcoming[k], tc_s);
+        }
+        for &r in upcoming_active {
+            let k = r as usize;
+            self.fill_region(rc, k, ctx.now_ms, window_end, upcoming[k], tc_s);
+        }
+    }
+
+    /// One region of the sparse fill: live counts → λ/μ/K via the shared
+    /// formula, and a `touched` entry so the next sparse batch resets it.
+    fn fill_region(
+        &mut self,
+        rc: &RegionCounts,
+        k: usize,
+        now_ms: u64,
+        window_end: u64,
+        upcoming_k: f64,
+        tc_s: f64,
+    ) {
+        self.waiting[k] = rc.waiting()[k];
+        self.available[k] = rc.available()[k];
+        self.rejoining[k] = rc.rejoining_between(RegionId(k as u32), now_ms, window_end);
+        let (l, m, c) = region_rates(
+            self.waiting[k],
+            self.available[k],
+            self.rejoining[k],
+            upcoming_k,
+            tc_s,
+        );
+        self.lambda[k] = l;
+        self.mu[k] = m;
+        self.capacity_k[k] = c;
+        self.touched.push(k as u32);
     }
 
     /// Loads the *eager reference* estimates for one batch — the output
@@ -175,6 +292,7 @@ impl RateTracker {
         self.et.copy_from_slice(ets);
         self.et_epoch.fill(self.epoch);
         self.ets_computed += n as u64;
+        self.dense_dirty = true;
     }
 
     /// The expected idle time of region `k` for the current batch,
@@ -438,6 +556,144 @@ mod tests {
         assert_eq!(bumped.to_bits(), expect.to_bits());
         t.unbump_mu(k, &cfg);
         assert_eq!(t.capacity_k()[k], 1);
+    }
+
+    /// The active list of a dense upcoming buffer: every region whose
+    /// value carries a nonzero bit pattern (what `SparseUpcoming` hands
+    /// the policy on the hot path).
+    fn active_of(upcoming: &[f64]) -> Vec<u32> {
+        upcoming
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.to_bits() != 0)
+            .map(|(k, _)| k as u32)
+            .collect()
+    }
+
+    fn assert_tracker_matches(t: &mut RateTracker, est: &RegionEstimates, cfg: &DispatchConfig) {
+        let ets = est.expected_idle_times(cfg);
+        assert_eq!(t.waiting(), &est.waiting[..]);
+        assert_eq!(t.available(), &est.available[..]);
+        assert_eq!(t.rejoining(), &est.rejoining[..]);
+        for (k, et) in ets.iter().enumerate() {
+            assert_eq!(t.lambda()[k].to_bits(), est.lambda[k].to_bits(), "λ[{k}]");
+            assert_eq!(t.mu()[k].to_bits(), est.mu[k].to_bits(), "μ[{k}]");
+            assert_eq!(t.capacity_k()[k], est.capacity_k[k], "K[{k}]");
+            assert_eq!(t.et(k, cfg).to_bits(), et.to_bits(), "ET[{k}]");
+        }
+    }
+
+    #[test]
+    fn sparse_live_path_matches_the_dense_reference() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::default();
+        let cfg = DispatchConfig::default();
+        let riders = [rider(P), rider(P), rider(Q)];
+        let drivers = [driver(P), driver(Q), driver(Q)];
+        let busys = [busy(100_000, P), busy(2_000_000, Q), busy(5_000, Q)];
+        let counts = counts_for(&grid, &riders, &drivers, &busys);
+        let mut upcoming = vec![0.0; grid.num_regions()];
+        upcoming[grid.region_of(P).idx()] = 12.0;
+        // A region with demand but no riders/drivers: only the active
+        // list can reach it.
+        upcoming[7] = 3.5;
+
+        let live_ctx = ctx(&grid, &travel, &riders, &drivers, &busys, Some(&counts));
+        let scan_ctx = ctx(&grid, &travel, &riders, &drivers, &busys, None);
+        let est = estimate_rates(&scan_ctx, &upcoming, &cfg);
+
+        let mut t = RateTracker::new();
+        t.begin_batch_sparse(&live_ctx, &upcoming, &active_of(&upcoming), &cfg);
+        assert_tracker_matches(&mut t, &est, &cfg);
+        assert_eq!(t.stats().live_batches, 1);
+
+        // A second sparse batch over the same world exercises the
+        // touched-list reset instead of the first batch's dense reset.
+        t.begin_batch_sparse(&live_ctx, &upcoming, &active_of(&upcoming), &cfg);
+        assert_tracker_matches(&mut t, &est, &cfg);
+        assert_eq!(t.stats().live_batches, 2);
+    }
+
+    #[test]
+    fn sparse_batches_reset_regions_that_empty_out() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::default();
+        let cfg = DispatchConfig::default();
+        // World A occupies P and Q; world B empties Q entirely and has
+        // zero demand — every world-A region must fall back to baseline.
+        let riders_a = [rider(P), rider(Q)];
+        let drivers_a = [driver(Q)];
+        let busys_a = [busy(100_000, Q)];
+        let counts_a = counts_for(&grid, &riders_a, &drivers_a, &busys_a);
+        let mut upcoming_a = vec![0.0; grid.num_regions()];
+        upcoming_a[grid.region_of(Q).idx()] = 9.0;
+        let ctx_a = ctx(
+            &grid,
+            &travel,
+            &riders_a,
+            &drivers_a,
+            &busys_a,
+            Some(&counts_a),
+        );
+
+        let riders_b = [rider(P)];
+        let counts_b = counts_for(&grid, &riders_b, &[], &[]);
+        let upcoming_b = vec![0.0; grid.num_regions()];
+        let ctx_b = ctx(&grid, &travel, &riders_b, &[], &[], Some(&counts_b));
+
+        let mut t = RateTracker::new();
+        t.begin_batch_sparse(&ctx_a, &upcoming_a, &active_of(&upcoming_a), &cfg);
+        t.begin_batch_sparse(&ctx_b, &upcoming_b, &active_of(&upcoming_b), &cfg);
+        let est_b = estimate_rates(&ctx_b, &upcoming_b, &cfg);
+        assert_tracker_matches(&mut t, &est_b, &cfg);
+        let q = grid.region_of(Q).idx();
+        assert_eq!(t.lambda()[q].to_bits(), 0.0f64.to_bits(), "Q is baseline");
+    }
+
+    #[test]
+    fn sparse_recovers_from_dense_fills() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::default();
+        let cfg = DispatchConfig::default();
+        let riders = [rider(P)];
+        let drivers = [driver(Q)];
+        let counts = counts_for(&grid, &riders, &drivers, &[]);
+        // Dense demand everywhere, then sparse demand: the dense fill
+        // leaves non-baseline entries in every region, which the next
+        // sparse batch must wipe before going incremental.
+        let dense_up = vec![2.0; grid.num_regions()];
+        let sparse_up = vec![0.0; grid.num_regions()];
+        let live = ctx(&grid, &travel, &riders, &drivers, &[], Some(&counts));
+
+        let mut t = RateTracker::new();
+        t.begin_batch(&live, &dense_up, &cfg);
+        t.begin_batch_sparse(&live, &sparse_up, &active_of(&sparse_up), &cfg);
+        let est = estimate_rates(&live, &sparse_up, &cfg);
+        assert_tracker_matches(&mut t, &est, &cfg);
+
+        // Same story after a reference load.
+        let est_dense = estimate_rates(&live, &dense_up, &cfg);
+        let ets_dense = est_dense.expected_idle_times(&cfg);
+        t.load_reference(&est_dense, &ets_dense);
+        t.begin_batch_sparse(&live, &sparse_up, &active_of(&sparse_up), &cfg);
+        let est = estimate_rates(&live, &sparse_up, &cfg);
+        assert_tracker_matches(&mut t, &est, &cfg);
+    }
+
+    #[test]
+    fn sparse_without_live_counts_falls_back_to_scans() {
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::default();
+        let cfg = DispatchConfig::default();
+        let riders = [rider(P)];
+        let drivers = [driver(Q)];
+        let upcoming = vec![0.0; grid.num_regions()];
+        let c = ctx(&grid, &travel, &riders, &drivers, &[], None);
+        let mut t = RateTracker::new();
+        t.begin_batch_sparse(&c, &upcoming, &active_of(&upcoming), &cfg);
+        assert_eq!(t.stats().live_batches, 0);
+        let est = estimate_rates(&c, &upcoming, &cfg);
+        assert_tracker_matches(&mut t, &est, &cfg);
     }
 
     #[test]

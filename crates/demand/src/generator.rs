@@ -142,9 +142,18 @@ impl NycLikeGenerator {
         let mut rng = self.day_rng(day, 1);
         let mut trips = Vec::new();
         let mut id = (day as u64) << 32;
+        // Per-slot and per-cell tables are hoisted out of the trip loop:
+        // the base rates cost one day-factor solve per slot (not per
+        // region) and the gravity cumulative is built once per *occupied*
+        // cell (not per trip). Neither computation touches the RNG, so
+        // the generated stream is bit-identical to the naive nesting.
+        let mut rates = Vec::new();
+        let mut dest_w = Vec::new();
+        let mut gravity_cum = Vec::new();
         for slot in 0..SLOTS_PER_DAY {
-            let dest_w = self.profile.dest_weights(slot);
-            let dest_cum = cumulative(&dest_w);
+            self.profile.dest_weights_into(slot, &mut dest_w);
+            self.profile
+                .expected_slot_counts_into(day, slot, &mut rates);
             for region in self.grid.regions() {
                 let factor = shaper.rate_factor(slot, region);
                 assert!(
@@ -156,18 +165,22 @@ impl NycLikeGenerator {
                     extra.is_finite() && extra >= 0.0,
                     "DemandShaper: extra rate must be finite and non-negative, got {extra}"
                 );
-                let rate = self.profile.expected_slot_count(day, slot, region) * factor;
+                let rate = rates[region.idx()] * factor;
                 let mut n = sample_poisson(&mut rng, rate);
                 if extra > 0.0 {
                     // Injected mass draws separately so the unshaped path
                     // consumes an identical RNG stream.
                     n += sample_poisson(&mut rng, extra);
                 }
+                if n == 0 {
+                    continue;
+                }
+                self.gravity_cum_into(region, &dest_w, &mut gravity_cum);
                 for _ in 0..n {
                     let request_ms = slot as u64 * SLOT_MS + rng.gen_range(0..SLOT_MS);
                     let pickup = self.random_point_in(region, &mut rng);
                     let dropoff =
-                        self.sample_destination(region, &dest_w, &dest_cum, pickup, &mut rng);
+                        self.sample_destination_from(region, &gravity_cum, pickup, &mut rng);
                     trips.push(TripRecord {
                         id,
                         request_ms,
@@ -191,16 +204,18 @@ impl NycLikeGenerator {
     pub fn generate_counts(&self, days: usize) -> DemandSeries {
         let regions = self.grid.num_regions();
         let mut s = DemandSeries::zeros(days, SLOTS_PER_DAY, regions);
+        let mut rates = Vec::new();
         for day in 0..days {
             let mut rng = self.day_rng(day, 2);
             for slot in 0..SLOTS_PER_DAY {
+                self.profile
+                    .expected_slot_counts_into(day, slot, &mut rates);
                 for region in self.grid.regions() {
-                    let rate = self.profile.expected_slot_count(day, slot, region);
                     s.set(
                         day,
                         slot,
                         region.idx(),
-                        sample_poisson(&mut rng, rate) as f64,
+                        sample_poisson(&mut rng, rates[region.idx()]) as f64,
                     );
                 }
             }
@@ -211,9 +226,18 @@ impl NycLikeGenerator {
     /// The noise-free expected counts (Poisson rates) for `days` days —
     /// the best any predictor could do in expectation.
     pub fn expected_counts(&self, days: usize) -> DemandSeries {
-        DemandSeries::from_fn(days, SLOTS_PER_DAY, self.grid.num_regions(), |d, t, r| {
-            self.profile.expected_slot_count(d, t, RegionId(r as u32))
-        })
+        let mut s = DemandSeries::zeros(days, SLOTS_PER_DAY, self.grid.num_regions());
+        let mut rates = Vec::new();
+        for day in 0..days {
+            for slot in 0..SLOTS_PER_DAY {
+                self.profile
+                    .expected_slot_counts_into(day, slot, &mut rates);
+                for (r, &rate) in rates.iter().enumerate() {
+                    s.set(day, slot, r, rate);
+                }
+            }
+        }
+        s
     }
 
     /// Uniform point inside a region's cell.
@@ -222,34 +246,40 @@ impl NycLikeGenerator {
         Point::new(rng.gen_range(lo.lon..hi.lon), rng.gen_range(lo.lat..hi.lat))
     }
 
-    /// Gravity-model destination: region `j` with probability
-    /// `∝ dest_w[j] · exp(−d(i,j) / L)`, then a uniform point in `j`,
-    /// resampled while the trip is shorter than `min_trip_m`.
-    fn sample_destination(
+    /// Builds the gravity-model cumulative distribution of one origin:
+    /// region `j` gets probability `∝ dest_w[j] · exp(−d(i,j) / L)`.
+    /// Shared by every trip of an occupied `(slot, origin)` cell — the
+    /// per-trip O(regions) rebuild was the generation wall at large
+    /// grids. The float sequence (raw weights, one total, per-entry
+    /// division, running sum) matches the per-trip computation exactly,
+    /// so sampling from it is bit-identical.
+    fn gravity_cum_into(&self, origin: RegionId, dest_w: &[f64], cum: &mut Vec<f64>) {
+        let oc = self.grid.center(origin);
+        cum.clear();
+        cum.extend(dest_w.iter().enumerate().map(|(j, &w)| {
+            let d = oc.distance_m(&self.grid.center(RegionId(j as u32)));
+            w * (-d / self.config.gravity_scale_m).exp()
+        }));
+        let total: f64 = cum.iter().sum();
+        let mut acc = 0.0;
+        for w in cum.iter_mut() {
+            acc += *w / total;
+            *w = acc;
+        }
+    }
+
+    /// Gravity-model destination drawn from a prebuilt cumulative
+    /// ([`Self::gravity_cum_into`]): a uniform point in the sampled
+    /// region, resampled while the trip is shorter than `min_trip_m`.
+    fn sample_destination_from(
         &self,
         origin: RegionId,
-        dest_w: &[f64],
-        _dest_cum: &[f64],
+        cum: &[f64],
         pickup: Point,
         rng: &mut StdRng,
     ) -> Point {
-        let oc = self.grid.center(origin);
-        // Gravity weights for this origin.
-        let mut weights: Vec<f64> = dest_w
-            .iter()
-            .enumerate()
-            .map(|(j, &w)| {
-                let d = oc.distance_m(&self.grid.center(RegionId(j as u32)));
-                w * (-d / self.config.gravity_scale_m).exp()
-            })
-            .collect();
-        let total: f64 = weights.iter().sum();
-        for w in &mut weights {
-            *w /= total;
-        }
-        let cum = cumulative(&weights);
         for _ in 0..32 {
-            let j = sample_categorical(&cum, rng);
+            let j = sample_categorical(cum, rng);
             let p = self.random_point_in(RegionId(j as u32), rng);
             if pickup.distance_m(&p) >= self.config.min_trip_m {
                 return p;
@@ -326,17 +356,6 @@ impl UniformGenerator {
     }
 }
 
-/// Cumulative sums of a normalized weight vector.
-fn cumulative(w: &[f64]) -> Vec<f64> {
-    let mut acc = 0.0;
-    w.iter()
-        .map(|&x| {
-            acc += x;
-            acc
-        })
-        .collect()
-}
-
 /// Samples an index from a cumulative distribution by binary search.
 fn sample_categorical(cum: &[f64], rng: &mut StdRng) -> usize {
     let u: f64 = rng.gen::<f64>() * cum.last().copied().unwrap_or(1.0);
@@ -357,6 +376,46 @@ mod tests {
             seed: 7,
             ..NycLikeConfig::default()
         })
+    }
+
+    #[test]
+    fn hoisted_gravity_cum_matches_the_per_trip_computation() {
+        // The per-(slot, origin) gravity cumulative must reproduce the
+        // float sequence the old per-trip code computed inline: raw
+        // weights, one total, divide each weight, running sum.
+        let g = small_gen();
+        let dest_w = g.profile().dest_weights(17);
+        let scale = NycLikeConfig::default().gravity_scale_m;
+        let mut cum = Vec::new();
+        for origin in [RegionId(0), RegionId(37), RegionId(255)] {
+            g.gravity_cum_into(origin, &dest_w, &mut cum);
+            let oc = g.grid().center(origin);
+            let weights: Vec<f64> = dest_w
+                .iter()
+                .enumerate()
+                .map(|(j, &w)| {
+                    let d = oc.distance_m(&g.grid().center(RegionId(j as u32)));
+                    w * (-d / scale).exp()
+                })
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let mut acc = 0.0;
+            let expect: Vec<f64> = weights
+                .iter()
+                .map(|&w| {
+                    acc += w / total;
+                    acc
+                })
+                .collect();
+            assert_eq!(cum.len(), expect.len());
+            for (j, (&got, &want)) in cum.iter().zip(&expect).enumerate() {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "origin {origin:?} dest {j}: {got} != {want}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -215,33 +215,45 @@ impl NycProfile {
         (0.5 + 0.35 * (evening_bump(h) - morning_bump(h))).clamp(0.1, 0.9)
     }
 
+    /// Mixes the core/residential fields into `out` and normalizes —
+    /// the shared body of the origin/destination weight builders.
+    fn mixed_weights_into(&self, mix: f64, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            self.core
+                .iter()
+                .zip(&self.residential)
+                .map(|(c, r)| mix * c + (1.0 - mix) * r),
+        );
+        normalize(out);
+    }
+
     /// Per-region origin weights for `slot`, normalized to sum 1.
     pub fn origin_weights(&self, slot: usize) -> Vec<f64> {
-        let h = (slot % SLOTS_PER_DAY) as f64 * (SLOT_MS as f64 / 3_600_000.0);
-        let mix = Self::origin_core_mix(h + 0.25);
-        let mut w: Vec<f64> = self
-            .core
-            .iter()
-            .zip(&self.residential)
-            .map(|(c, r)| mix * c + (1.0 - mix) * r)
-            .collect();
-        normalize(&mut w);
+        let mut w = Vec::new();
+        self.origin_weights_into(slot, &mut w);
         w
+    }
+
+    /// [`NycProfile::origin_weights`] into a caller-owned buffer, for
+    /// per-slot loops that must not allocate per call.
+    pub fn origin_weights_into(&self, slot: usize, out: &mut Vec<f64>) {
+        let h = (slot % SLOTS_PER_DAY) as f64 * (SLOT_MS as f64 / 3_600_000.0);
+        self.mixed_weights_into(Self::origin_core_mix(h + 0.25), out);
     }
 
     /// Per-region destination weights for `slot` (mirror image of the
     /// origin mix), normalized to sum 1.
     pub fn dest_weights(&self, slot: usize) -> Vec<f64> {
-        let h = (slot % SLOTS_PER_DAY) as f64 * (SLOT_MS as f64 / 3_600_000.0);
-        let mix = 1.0 - Self::origin_core_mix(h + 0.25);
-        let mut w: Vec<f64> = self
-            .core
-            .iter()
-            .zip(&self.residential)
-            .map(|(c, r)| mix * c + (1.0 - mix) * r)
-            .collect();
-        normalize(&mut w);
+        let mut w = Vec::new();
+        self.dest_weights_into(slot, &mut w);
         w
+    }
+
+    /// [`NycProfile::dest_weights`] into a caller-owned buffer.
+    pub fn dest_weights_into(&self, slot: usize, out: &mut Vec<f64>) {
+        let h = (slot % SLOTS_PER_DAY) as f64 * (SLOT_MS as f64 / 3_600_000.0);
+        self.mixed_weights_into(1.0 - Self::origin_core_mix(h + 0.25), out);
     }
 
     /// Expected (noise-free) order count for `region` in `slot` of `day` —
@@ -251,6 +263,20 @@ impl NycProfile {
             * self.day_factor(day)
             * self.slot_weight(slot)
             * self.origin_weights(slot)[region.idx()]
+    }
+
+    /// Fills `out` with [`NycProfile::expected_slot_count`] for every
+    /// region of `(day, slot)` at once: one day-factor solve (it seeds
+    /// an RNG) and one origin-weight build per *slot* instead of per
+    /// region. Bit-identical to the per-region calls — the shared
+    /// prefix `orders_per_day × day_factor × slot_weight` associates
+    /// left in both forms.
+    pub fn expected_slot_counts_into(&self, day: usize, slot: usize, out: &mut Vec<f64>) {
+        self.origin_weights_into(slot, out);
+        let base = self.orders_per_day * self.day_factor(day) * self.slot_weight(slot);
+        for w in out.iter_mut() {
+            *w *= base;
+        }
     }
 }
 
@@ -356,6 +382,30 @@ mod tests {
         let dest_pm = p.dest_weights(37); // 18:30
         let orig_pm = p.origin_weights(37);
         assert!(dest_pm[midtown] < orig_pm[midtown]);
+    }
+
+    #[test]
+    fn slot_counts_buffer_is_bit_identical_to_per_region_calls() {
+        let p = profile();
+        let mut buf = vec![99.0; 3]; // wrong size and stale content
+        for (day, slot) in [(0, 0), (2, 16), (6, 47)] {
+            p.expected_slot_counts_into(day, slot, &mut buf);
+            assert_eq!(buf.len(), p.grid().num_regions());
+            for (r, &v) in buf.iter().enumerate() {
+                let per_region = p.expected_slot_count(day, slot, RegionId(r as u32));
+                assert_eq!(
+                    v.to_bits(),
+                    per_region.to_bits(),
+                    "day {day} slot {slot} r {r}"
+                );
+            }
+        }
+        // The buffered weight builders match the allocating ones too.
+        let mut w = Vec::new();
+        p.origin_weights_into(9, &mut w);
+        assert_eq!(w, p.origin_weights(9));
+        p.dest_weights_into(9, &mut w);
+        assert_eq!(w, p.dest_weights(9));
     }
 
     #[test]

@@ -24,7 +24,8 @@
 //!   ablation  destination-aware ET vs uniform ET
 //!   scenarios parallel policy sweep over the built-in workload scenarios
 //!   delta     Δ-sensitivity sweep (3 s → 100 ms) over the built-ins
-//!   all       everything above except scenarios and delta
+//!   scale     grid × fleet scale sweep (16×16/1K → 200×200/50K) at Δ = 1 s
+//!   all       everything above except scenarios, delta and scale
 //! ```
 //!
 //! `--scale 1.0` reproduces the paper's 282,255-order day with 1K–8K
@@ -34,17 +35,20 @@
 //! `scenarios` command runs the built-in scenario specs exactly as
 //! declared, so `--scale`/`--instances` do not apply to it; `delta`
 //! scales the built-ins by `--scale` (sub-second Δ multiplies the batch
-//! grid 30-fold, so its default run is deliberately smaller).
+//! grid 30-fold, so its default run is deliberately smaller); `scale`
+//! multiplies each scale-axis point's orders and drivers by `--scale`
+//! (grid sizes are fixed — resolution is the axis under test).
 
 mod common;
 mod delta;
 mod figures;
+mod scale;
 mod scenarios;
 mod tables;
 
 use common::{Options, World};
 
-const COMMANDS: [&str; 18] = [
+const COMMANDS: [&str; 19] = [
     "table3",
     "table4",
     "table6",
@@ -62,6 +66,7 @@ const COMMANDS: [&str; 18] = [
     "ablation",
     "scenarios",
     "delta",
+    "scale",
     "all",
 ];
 
@@ -148,12 +153,14 @@ fn main() {
         opts.scale, opts.instances, opts.seed, opts.threads
     );
     let t0 = std::time::Instant::now();
-    if cmd == "scenarios" || cmd == "delta" {
-        // Scenario and Δ sweeps run the declarative specs directly — no
-        // world (history generation + model training) is needed.
+    if cmd == "scenarios" || cmd == "delta" || cmd == "scale" {
+        // Scenario, Δ and scale sweeps run the declarative specs
+        // directly — no world (history generation + model training) is
+        // needed.
         match cmd.as_str() {
             "scenarios" => scenarios::scenarios(&opts),
-            _ => delta::delta(&opts),
+            "delta" => delta::delta(&opts),
+            _ => scale::scale(&opts),
         }
         println!("\n# done in {:.1}s", t0.elapsed().as_secs_f64());
         return;
@@ -271,6 +278,15 @@ mod tests {
             parse_cmdline(&args(&["scenarios"])),
             Ok(Parsed::Run(cmd, _)) if cmd == "scenarios"
         ));
+    }
+
+    #[test]
+    fn scale_is_a_known_command() {
+        let Ok(Parsed::Run(cmd, opts)) = parse_cmdline(&args(&["scale", "--scale", "0.05"])) else {
+            panic!("expected a run");
+        };
+        assert_eq!(cmd, "scale");
+        assert_eq!(opts.scale, 0.05);
     }
 
     #[test]

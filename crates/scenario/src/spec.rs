@@ -75,6 +75,11 @@ pub struct ScenarioSpec {
     /// Master seed: drives trip generation, driver placement and
     /// deadline noise.
     pub seed: u64,
+    /// Grid columns over the NYC extent (the scale axis; 16 = the
+    /// paper-faithful default, 200 ≈ city-scale cell sizes).
+    pub grid_cols: u32,
+    /// Grid rows over the NYC extent.
+    pub grid_rows: u32,
     /// Demand surge windows (multiplicative, composable).
     pub surges: Vec<SurgeWindow>,
     /// Spatial hotspot injections (additive origin mass).
@@ -97,6 +102,8 @@ impl ScenarioSpec {
             orders_per_day,
             day: 0,
             seed: 42,
+            grid_cols: 16,
+            grid_rows: 16,
             surges: Vec::new(),
             hotspots: Vec::new(),
             driver_phases: vec![DriverPhase {
@@ -123,6 +130,18 @@ impl ScenarioSpec {
         assert!(
             self.speed_factor > 0.0 && self.speed_factor.is_finite(),
             "{}: speed_factor must be positive",
+            self.name
+        );
+        assert!(
+            self.grid_cols > 0 && self.grid_rows > 0,
+            "{}: grid dimensions must be positive",
+            self.name
+        );
+        assert!(
+            (self.grid_cols as u64)
+                .checked_mul(self.grid_rows as u64)
+                .is_some_and(|n| n <= u32::MAX as u64),
+            "{}: grid_cols x grid_rows overflows the u32 region-id space",
             self.name
         );
         for s in &self.surges {
@@ -217,6 +236,8 @@ impl ScenarioSpec {
             "orders_per_day": self.orders_per_day,
             "day": self.day,
             "seed": self.seed,
+            "grid_cols": self.grid_cols,
+            "grid_rows": self.grid_rows,
             "surges": self
                 .surges
                 .iter()
@@ -278,6 +299,8 @@ impl ScenarioSpec {
                 "orders_per_day",
                 "day",
                 "seed",
+                "grid_cols",
+                "grid_rows",
                 "surges",
                 "hotspots",
                 "driver_phases",
@@ -387,6 +410,8 @@ impl ScenarioSpec {
             orders_per_day: f64_field(v, "orders_per_day")?,
             day: opt_u64("day", 0)? as usize,
             seed: opt_u64("seed", 42)?,
+            grid_cols: opt_u64("grid_cols", 16)? as u32,
+            grid_rows: opt_u64("grid_rows", 16)? as u32,
             surges,
             hotspots,
             driver_phases,
@@ -461,6 +486,8 @@ mod tests {
         });
         s.speed_factor = 0.8;
         s.sim.base_wait_ms = Some(120_000);
+        s.grid_cols = 32;
+        s.grid_rows = 24;
         s
     }
 
@@ -481,6 +508,8 @@ mod tests {
         .unwrap();
         assert_eq!(spec.day, 0);
         assert_eq!(spec.seed, 42);
+        assert_eq!(spec.grid_cols, 16);
+        assert_eq!(spec.grid_rows, 16);
         assert_eq!(spec.speed_factor, 1.0);
         assert!(spec.surges.is_empty());
         assert_eq!(spec.sim, SimOverrides::default());
@@ -554,6 +583,37 @@ mod tests {
         assert!((s.hotspots[0].extra_orders - 30.0).abs() < 1e-9);
         let tiny = sample().scaled(0.001);
         assert_eq!(tiny.driver_phases[0].drivers, 1, "fleet never scales to 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "grid dimensions must be positive")]
+    fn zero_grid_dimension_fails_validation() {
+        let mut s = sample();
+        s.grid_rows = 0;
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the u32 region-id space")]
+    fn oversized_grid_fails_validation() {
+        let mut s = sample();
+        s.grid_cols = 1 << 17;
+        s.grid_rows = 1 << 17;
+        s.validate();
+    }
+
+    #[test]
+    fn grid_fields_survive_the_json_round_trip() {
+        let spec = ScenarioSpec::from_json_str(
+            r#"{"name": "big", "orders_per_day": 1000, "grid_cols": 200, "grid_rows": 200,
+                "driver_phases": [{"from_ms": 0, "drivers": 10}]}"#,
+        )
+        .unwrap();
+        assert_eq!((spec.grid_cols, spec.grid_rows), (200, 200));
+        let back =
+            ScenarioSpec::from_json_str(&serde_json::to_string_pretty(&spec.to_json()).unwrap())
+                .unwrap();
+        assert_eq!(spec, back);
     }
 
     #[test]

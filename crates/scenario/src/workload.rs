@@ -5,7 +5,7 @@ use mrvd_demand::{
     NycLikeGenerator, TripRecord, SLOTS_PER_DAY, SLOT_MS,
 };
 use mrvd_sim::{DriverSchedule, SimConfig};
-use mrvd_spatial::{ConstantSpeedModel, Grid, Point, RegionId};
+use mrvd_spatial::{ConstantSpeedModel, Grid, Point, RegionId, NYC_EXTENT};
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::spec::ScenarioSpec;
@@ -107,11 +107,16 @@ impl ScenarioSpec {
     /// Panics if the spec fails [`ScenarioSpec::validate`].
     pub fn materialize(&self) -> ScenarioWorkload {
         self.validate();
-        let generator = NycLikeGenerator::new(NycLikeConfig {
-            orders_per_day: self.orders_per_day,
-            seed: self.seed,
-            ..NycLikeConfig::default()
-        });
+        // with_grid on the 16×16 default is identical to new(), so
+        // pre-scale-axis workloads stay byte-for-byte unchanged.
+        let generator = NycLikeGenerator::with_grid(
+            Grid::new(NYC_EXTENT.0, NYC_EXTENT.1, self.grid_cols, self.grid_rows),
+            NycLikeConfig {
+                orders_per_day: self.orders_per_day,
+                seed: self.seed,
+                ..NycLikeConfig::default()
+            },
+        );
         let grid = generator.grid().clone();
         let shaper = ScenarioShaper::new(self, &grid);
         let trips = generator.generate_day_trips_with(self.day, &shaper);
@@ -225,6 +230,22 @@ mod tests {
         assert_eq!(w.sim_config.base_wait_ms, 120_000);
         // Realized counts cover exactly the generated trips.
         assert_eq!(w.series.total() as usize, w.trips.len());
+    }
+
+    #[test]
+    fn grid_axis_drives_the_materialized_grid() {
+        let mut spec = ScenarioSpec::plain("g", "", 2_000.0, 20);
+        spec.grid_cols = 32;
+        spec.grid_rows = 24;
+        let w = spec.materialize();
+        assert_eq!(w.grid.num_regions(), 32 * 24);
+        assert_eq!(w.grid.min(), Grid::nyc_16x16().min());
+        assert_eq!(w.grid.max(), Grid::nyc_16x16().max());
+        assert_eq!(w.series.total() as usize, w.trips.len());
+        // Same spec on the default grid is the historical workload.
+        let default = ScenarioSpec::plain("g", "", 2_000.0, 20).materialize();
+        assert_eq!(default.grid.num_regions(), 256);
+        assert_ne!(w.trips, default.trips, "grid size perturbs generation");
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! acceptance check — all six built-ins × the default policy set — and
 //! is executed by CI's `cargo test -- --ignored` pass.
 
-use mrvd_scenario::{builtins, run_scenario, run_scenario_reference, ScenarioSpec, SweepPolicy};
+use mrvd_scenario::{
+    builtins, run_scenario, run_scenario_configured, run_scenario_reference, ScenarioSpec,
+    SweepPolicy,
+};
 use mrvd_sim::SimResult;
 
 /// Shrinks a built-in to 20% volume/fleet, keeping the default Δ = 3 s,
@@ -173,6 +176,40 @@ fn driver_shortage_matches_reference() {
 #[test]
 fn weekend_lull_matches_reference() {
     assert_builtin_equivalent("weekend-lull", SweepPolicy::IrgReal);
+}
+
+/// The large-grid acceptance check for the sharded event queue: a 64×64
+/// grid with a 2 000-driver fleet at Δ = 1 s, run three ways — sharded
+/// engine (auto shard count), forced single global heap, and the legacy
+/// reference loop — must produce identical results. Exact renege
+/// comparison between the two engine layouts (same event times); relaxed
+/// renege-identity against the reference loop (it charges reneges up to
+/// Δ later). CI's `--ignored` pass covers it.
+#[test]
+#[ignore = "large-grid differential run (minutes); cargo test -- --ignored"]
+fn large_grid_sharded_matches_single_queue_and_reference() {
+    let mut spec = ScenarioSpec::plain(
+        "large-grid",
+        "64×64 grid, 2 000 drivers, Δ = 1 s",
+        40_000.0,
+        2_000,
+    );
+    spec.grid_cols = 64;
+    spec.grid_rows = 64;
+    spec.sim.batch_interval_ms = Some(1_000);
+    let workload = spec.materialize();
+    for policy in [SweepPolicy::Near, SweepPolicy::IrgReal] {
+        let name = format!("large-grid/{}", policy.label());
+        let sharded = run_scenario_configured(&workload, policy, None, None);
+        let single = run_scenario_configured(&workload, policy, None, Some(1));
+        assert_equivalent(&name, &sharded, &single);
+        assert_eq!(
+            sharded.reneges, single.reneges,
+            "{name}: engine layouts must renege at identical event times"
+        );
+        let reference = run_scenario_reference(&workload, policy);
+        assert_equivalent(&name, &sharded, &reference);
+    }
 }
 
 /// The full-scale acceptance check: all six built-ins at their declared

@@ -51,8 +51,18 @@ pub struct RegionCounts {
     /// [`RegionCounts::clear_dirty`], deduplicated via `dirty_flag`.
     dirty: Vec<RegionId>,
     dirty_flag: Vec<bool>,
+    /// Superset of the regions with any nonzero count (see
+    /// [`RegionCounts::occupied_regions`]), deduplicated via `listed`.
+    occupied: Vec<RegionId>,
+    listed: Vec<bool>,
+    /// Amortized-compaction threshold for `occupied`.
+    occupied_watermark: usize,
     ops: u64,
 }
+
+/// Floor of the occupied-list compaction watermark: lists shorter than
+/// this are never compacted, so tiny grids skip the machinery entirely.
+const OCCUPIED_WATERMARK_FLOOR: usize = 64;
 
 impl RegionCounts {
     /// Zeroed counts over `num_regions` regions.
@@ -66,6 +76,9 @@ impl RegionCounts {
             total_rejoining: 0,
             dirty: Vec::new(),
             dirty_flag: vec![false; num_regions],
+            occupied: Vec::new(),
+            listed: vec![false; num_regions],
+            occupied_watermark: OCCUPIED_WATERMARK_FLOOR,
             ops: 0,
         }
     }
@@ -83,11 +96,47 @@ impl RegionCounts {
         }
     }
 
+    /// Enters `r` into the occupied list; called on every `add_*`.
+    /// Removals leave the list alone (a stale listing is harmless — all
+    /// its counts read zero), and an amortized compaction sweep keeps
+    /// the list proportional to the truly occupied set.
+    fn list(&mut self, r: RegionId) {
+        if !self.listed[r.idx()] {
+            self.listed[r.idx()] = true;
+            self.occupied.push(r);
+            if self.occupied.len() > self.occupied_watermark {
+                self.compact_occupied();
+            }
+        }
+    }
+
+    /// Drops listings whose region has no count left, then doubles the
+    /// watermark relative to the survivors so compaction stays O(1)
+    /// amortized per `add_*`.
+    fn compact_occupied(&mut self) {
+        let (waiting, available, rejoin_times, listed) = (
+            &self.waiting,
+            &self.available,
+            &self.rejoin_times,
+            &mut self.listed,
+        );
+        self.occupied.retain(|&r| {
+            let k = r.idx();
+            let live = waiting[k] > 0 || available[k] > 0 || !rejoin_times[k].is_empty();
+            if !live {
+                listed[k] = false;
+            }
+            live
+        });
+        self.occupied_watermark = OCCUPIED_WATERMARK_FLOOR.max(2 * self.occupied.len());
+    }
+
     /// A rider starts waiting in region `r`.
     pub fn add_waiting(&mut self, r: RegionId) {
         self.waiting[r.idx()] += 1;
         self.total_waiting += 1;
         self.touch(r);
+        self.list(r);
     }
 
     /// A rider leaves region `r`'s waiting set (assigned or reneged).
@@ -103,6 +152,7 @@ impl RegionCounts {
         self.available[r.idx()] += 1;
         self.total_available += 1;
         self.touch(r);
+        self.list(r);
     }
 
     /// A driver stops being available in region `r` (assigned or parked).
@@ -123,6 +173,7 @@ impl RegionCounts {
         bucket.insert(i, dropoff_ms);
         self.total_rejoining += 1;
         self.touch(r);
+        self.list(r);
     }
 
     /// Removes one rejoin entry of region `r` at exactly `dropoff_ms`
@@ -176,6 +227,17 @@ impl RegionCounts {
             self.total_available,
             self.total_rejoining,
         )
+    }
+
+    /// A superset of the regions with any nonzero count: every region
+    /// outside this list has `waiting == 0`, `available == 0` and an
+    /// empty rejoin bucket. Listings go stale lazily when a region's
+    /// last count drains (compaction reclaims them), so consumers must
+    /// treat the list as "possibly occupied" — exactly what a sparse
+    /// rate estimator needs, since writing a zero entry is idempotent.
+    /// Order is event-history-dependent and carries no meaning.
+    pub fn occupied_regions(&self) -> &[RegionId] {
+        &self.occupied
     }
 
     /// Regions whose counts changed since the last
@@ -258,6 +320,57 @@ mod tests {
         let mut c = RegionCounts::new(1);
         c.add_rejoining(R0, 2_000);
         c.remove_rejoining(R0, 3_000);
+    }
+
+    #[test]
+    fn occupied_list_covers_every_nonzero_region() {
+        let mut c = RegionCounts::new(8);
+        c.add_waiting(R0);
+        c.add_available(R1);
+        c.add_rejoining(RegionId(5), 1_000);
+        let occupied: Vec<_> = c.occupied_regions().to_vec();
+        assert!(occupied.contains(&R0));
+        assert!(occupied.contains(&R1));
+        assert!(occupied.contains(&RegionId(5)));
+        // Removals leave stale listings (lazy), but the guarantee is
+        // one-directional: unlisted regions are all-zero.
+        c.remove_waiting(R0);
+        for k in 0..8 {
+            let r = RegionId(k);
+            if !c.occupied_regions().contains(&r) {
+                assert_eq!(c.waiting()[k as usize], 0);
+                assert_eq!(c.available()[k as usize], 0);
+                assert_eq!(c.rejoining_between(r, 0, Millis::MAX), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn occupied_list_deduplicates_and_compacts() {
+        let mut c = RegionCounts::new(512);
+        c.add_waiting(R0);
+        c.add_waiting(R0);
+        c.add_available(R0);
+        assert_eq!(c.occupied_regions(), &[R0], "one listing per region");
+        // Drain R0, then churn enough distinct regions to trip the
+        // watermark: the stale R0 listing must be reclaimed and the
+        // list must stay bounded by the live set.
+        c.remove_waiting(R0);
+        c.remove_waiting(R0);
+        c.remove_available(R0);
+        for k in 1..=OCCUPIED_WATERMARK_FLOOR as u32 + 4 {
+            c.add_waiting(RegionId(k));
+            c.remove_waiting(RegionId(k));
+        }
+        assert!(
+            c.occupied_regions().len() <= OCCUPIED_WATERMARK_FLOOR + 4,
+            "compaction keeps the list near the live set, got {}",
+            c.occupied_regions().len()
+        );
+        assert!(!c.occupied_regions().contains(&R0));
+        // A region re-listed after compaction shows up again.
+        c.add_available(R0);
+        assert!(c.occupied_regions().contains(&R0));
     }
 
     #[test]

@@ -17,18 +17,17 @@
 //! both engines produce identical [`SimResult`]s, and a test battery
 //! plus proptests pin that equivalence.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use mrvd_demand::TripRecord;
-use mrvd_spatial::{Grid, Point, RegionIndex, TravelModel};
+use mrvd_spatial::{Grid, Point, RegionId, RegionIndex, TravelModel};
 use mrvd_stats::SummaryStats;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::counts::RegionCounts;
+use crate::fleet::{Fleet, Tag};
 use crate::metrics::{AssignmentRecord, RenegeRecord, SimResult};
 use crate::policy::{AvailableDriver, BatchContext, BusyDriver, DispatchPolicy, WaitingRider};
 use crate::schedule::DriverSchedule;
+use crate::shard::{EventQueue, ShardedEventQueue};
 use crate::types::{DriverId, Millis, RiderId};
 use crate::views::BatchViews;
 
@@ -47,6 +46,15 @@ pub struct SimConfig {
     pub horizon_ms: Millis,
     /// Seed for the deadline noise.
     pub seed: u64,
+    /// Event-queue shard count for the engine's event core: `0` picks a
+    /// count automatically from the grid's region count
+    /// ([`ShardedEventQueue::auto_shard_count`]), `1` forces the single
+    /// global heap (the pre-shard reference layout), and `n > 1`
+    /// partitions events into `n` contiguous region bands. Results are
+    /// bit-identical for every value: event keys are globally unique,
+    /// so the tournament over shard heads reproduces the single-queue
+    /// pop order exactly.
+    pub event_shards: usize,
 }
 
 impl Default for SimConfig {
@@ -57,6 +65,7 @@ impl Default for SimConfig {
             wait_noise_ms: (1_000, 10_000),
             horizon_ms: mrvd_demand::DAY_MS,
             seed: 0x51A1,
+            event_shards: 0,
         }
     }
 }
@@ -104,34 +113,31 @@ const PRI_DEADLINE: u8 = 2;
 /// counts and the live batch views (a cancelled retirement re-enters the
 /// rejoin multiset and the busy view, a fresh one leaves them). Returns
 /// whether any driver actually moved state.
-#[allow(clippy::too_many_arguments)] // one slot per live structure kept in sync
 fn reconcile_fleet(
     grid: &Grid,
-    drivers: &mut [DriverState],
-    retiring: &mut [bool],
+    fleet: &mut Fleet,
     avail_index: &mut RegionIndex<DriverId>,
     counts: &mut RegionCounts,
     views: &mut BatchViews,
     target: usize,
     now: Millis,
 ) -> bool {
-    let online = drivers
-        .iter()
-        .zip(retiring.iter())
-        .filter(|(d, &r)| !matches!(d, DriverState::Offline { .. }) && !r)
-        .count();
+    let online = fleet.online();
     let mut moved = false;
     if online < target {
         let mut need = target - online;
-        for (i, (d, r)) in drivers.iter().zip(retiring.iter_mut()).enumerate() {
+        for i in 0..fleet.len() {
             if need == 0 {
                 break;
             }
-            if *r {
-                *r = false;
-                let DriverState::Busy { until_ms, dropoff } = *d else {
-                    unreachable!("retiring flag on a non-busy driver");
-                };
+            if fleet.is_retiring(i) {
+                fleet.set_retiring(i, false);
+                debug_assert_eq!(
+                    fleet.tag(i),
+                    Tag::Busy,
+                    "retiring flag on a non-busy driver"
+                );
+                let (dropoff, until_ms) = (fleet.pos(i), fleet.time(i));
                 counts.add_rejoining(grid.region_of(dropoff), until_ms);
                 views.add_busy(BusyDriver {
                     id: DriverId(i as u32),
@@ -142,12 +148,13 @@ fn reconcile_fleet(
                 moved = true;
             }
         }
-        for (i, d) in drivers.iter_mut().enumerate() {
+        for i in 0..fleet.len() {
             if need == 0 {
                 break;
             }
-            if let DriverState::Offline { pos } = *d {
-                *d = DriverState::Available { pos, since_ms: now };
+            if fleet.tag(i) == Tag::Offline {
+                let pos = fleet.pos(i);
+                fleet.set_available(i, pos, now);
                 avail_index.insert(DriverId(i as u32), pos);
                 counts.add_available(grid.region_of(pos));
                 views.add_available(AvailableDriver {
@@ -161,12 +168,13 @@ fn reconcile_fleet(
         }
     } else if online > target {
         let mut excess = online - target;
-        for (i, d) in drivers.iter_mut().enumerate().rev() {
+        for i in (0..fleet.len()).rev() {
             if excess == 0 {
                 break;
             }
-            if let DriverState::Available { pos, .. } = *d {
-                *d = DriverState::Offline { pos };
+            if fleet.tag(i) == Tag::Available {
+                let pos = fleet.pos(i);
+                fleet.set_offline(i);
                 let removed = avail_index.remove_at(DriverId(i as u32), pos);
                 debug_assert_eq!(removed, 1, "index out of sync at shift-off");
                 counts.remove_available(grid.region_of(pos));
@@ -175,20 +183,18 @@ fn reconcile_fleet(
                 moved = true;
             }
         }
-        for (i, (d, r)) in drivers.iter().zip(retiring.iter_mut()).enumerate().rev() {
+        for i in (0..fleet.len()).rev() {
             if excess == 0 {
                 break;
             }
-            if let DriverState::Busy { until_ms, dropoff } = *d {
-                if !*r {
-                    *r = true;
-                    // A retiring driver will not rejoin: it leaves the
-                    // busy view and the rejoin multiset together.
-                    counts.remove_rejoining(grid.region_of(dropoff), until_ms);
-                    views.remove_busy(DriverId(i as u32));
-                    excess -= 1;
-                    moved = true;
-                }
+            if fleet.tag(i) == Tag::Busy && !fleet.is_retiring(i) {
+                fleet.set_retiring(i, true);
+                // A retiring driver will not rejoin: it leaves the
+                // busy view and the rejoin multiset together.
+                counts.remove_rejoining(grid.region_of(fleet.pos(i)), fleet.time(i));
+                views.remove_busy(DriverId(i as u32));
+                excess -= 1;
+                moved = true;
             }
         }
     }
@@ -268,20 +274,29 @@ impl<'a> Simulator<'a> {
         );
     }
 
-    /// Builds the rider table: deadline = request + base + U[noise],
-    /// drawn from the config seed (shared with the reference loop so
-    /// both engines see identical deadlines).
-    pub(crate) fn rider_table(&self, trips: &[TripRecord]) -> Vec<RiderInfo> {
+    /// Realizes every rider's pickup deadline: request + base +
+    /// U[noise], drawn from the config seed. The event core keeps rider
+    /// state struct-of-arrays — this deadline column parallel to the
+    /// caller's trip slice plus an assigned-flag column — so deadline
+    /// scans never drag trip payloads through cache (and a 1M-rider day
+    /// never materializes a second copy of its trips).
+    pub(crate) fn deadline_table(&self, trips: &[TripRecord]) -> Vec<Millis> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let (noise_lo, noise_hi) = self.config.wait_noise_ms;
         trips
             .iter()
-            .map(|&trip| RiderInfo {
-                deadline_ms: trip.request_ms
-                    + self.config.base_wait_ms
-                    + rng.gen_range(noise_lo..=noise_hi),
-                trip,
-            })
+            .map(|t| t.request_ms + self.config.base_wait_ms + rng.gen_range(noise_lo..=noise_hi))
+            .collect()
+    }
+
+    /// Builds the array-of-structs rider table for the reference loop,
+    /// from the same RNG stream as [`Simulator::deadline_table`] so both
+    /// engines see identical deadlines.
+    pub(crate) fn rider_table(&self, trips: &[TripRecord]) -> Vec<RiderInfo> {
+        trips
+            .iter()
+            .zip(self.deadline_table(trips))
+            .map(|(&trip, deadline_ms)| RiderInfo { trip, deadline_ms })
             .collect()
     }
 
@@ -335,26 +350,18 @@ impl<'a> Simulator<'a> {
         self.assert_inputs(trips, driver_pool, schedule);
         let teleport = policy.teleports_pickup();
         let every_batch = policy.invoke_every_batch();
-        let riders = self.rider_table(trips);
+        // Rider state is struct-of-arrays: the caller's trip slice plus
+        // this parallel deadline column (and the assigned-flag column
+        // below) — no per-rider struct is ever materialized here.
+        let deadlines = self.deadline_table(trips);
         let delta = self.config.batch_interval_ms;
         let horizon = self.config.horizon_ms;
 
         // Drivers up to the initial target start on shift; the rest of
-        // the pool waits offline at its spawn position.
+        // the pool waits offline at its spawn position. The fleet is
+        // struct-of-arrays (see `fleet.rs`).
         let initial = schedule.target_at(0);
-        let mut drivers: Vec<DriverState> = driver_pool
-            .iter()
-            .enumerate()
-            .map(|(i, &pos)| {
-                if i < initial {
-                    DriverState::Available { pos, since_ms: 0 }
-                } else {
-                    DriverState::Offline { pos }
-                }
-            })
-            .collect();
-        // Busy drivers marked here retire (go offline) at their dropoff.
-        let mut retiring = vec![false; drivers.len()];
+        let mut fleet = Fleet::new(driver_pool, initial);
         // The live candidate index: exactly the available drivers, kept
         // in sync incrementally at true event times (assignment, dropoff,
         // shift on/off) instead of being rebuilt by every policy every
@@ -374,8 +381,9 @@ impl<'a> Simulator<'a> {
         // id-sorted; every policy's output is id-tie-broken and hence
         // invariant to the order (the equivalence batteries pin this).
         let mut views = BatchViews::new();
-        for (i, d) in drivers.iter().enumerate() {
-            if let DriverState::Available { pos, .. } = *d {
+        for i in 0..fleet.len() {
+            if fleet.tag(i) == Tag::Available {
+                let pos = fleet.pos(i);
                 avail_index.insert(DriverId(i as u32), pos);
                 counts.add_available(self.grid.region_of(pos));
                 views.add_available(AvailableDriver {
@@ -389,12 +397,22 @@ impl<'a> Simulator<'a> {
         // Phase 0 seeded the fleet above; later phases fire as events.
         let mut next_phase = 1usize;
 
-        // The event queue: `(time, priority, payload)` min-heap holding
+        // The event queue: `(time, priority, payload)` min-queue holding
         // dropoffs (payload = driver index) and deadlines (payload =
         // rider index). Arrivals ride the sorted trip slice through
         // `next_trip`, shift changes ride the sorted phase list through
         // `next_phase`; both merge into the same time order below.
-        let mut events: BinaryHeap<Reverse<(Millis, u8, u32)>> = BinaryHeap::new();
+        // Events are partitioned into per-region-band shards — dropoffs
+        // by dropoff region, deadlines by pickup region — with a
+        // tournament head reproducing the single-queue pop order exactly
+        // (see `shard.rs`; `event_shards = 1` keeps the single heap).
+        let num_regions = self.grid.num_regions();
+        let num_shards = match self.config.event_shards {
+            0 => ShardedEventQueue::auto_shard_count(num_regions),
+            n => n,
+        };
+        let mut events = EventQueue::new(num_shards);
+        let shard_of = |r: RegionId| r.idx() * num_shards / num_regions;
 
         let mut next_trip = 0usize;
         let mut served = 0usize;
@@ -410,8 +428,8 @@ impl<'a> Simulator<'a> {
         let mut views_entries_dirtied = 0usize;
         let mut views_rebuilds_avoided = 0usize;
         // Scratch flags for validation.
-        let mut rider_assigned = vec![false; riders.len()];
-        let mut driver_taken = vec![false; drivers.len()];
+        let mut rider_assigned = vec![false; trips.len()];
+        let mut driver_taken = vec![false; fleet.len()];
 
         let mut tick: Millis = 0;
         // Any state change since the last executed batch.
@@ -424,17 +442,21 @@ impl<'a> Simulator<'a> {
         while tick < horizon {
             // 1. Admit riders whose request time has passed, scheduling
             // each one's exact-deadline renege event.
-            while next_trip < riders.len() && riders[next_trip].trip.request_ms <= tick {
-                let r = &riders[next_trip];
-                counts.add_waiting(self.grid.region_of(r.trip.pickup));
+            while next_trip < trips.len() && trips[next_trip].request_ms <= tick {
+                let t = &trips[next_trip];
+                let pickup_region = self.grid.region_of(t.pickup);
+                counts.add_waiting(pickup_region);
                 views.add_waiting(WaitingRider {
                     id: RiderId(next_trip as u32),
-                    pickup: r.trip.pickup,
-                    dropoff: r.trip.dropoff,
-                    request_ms: r.trip.request_ms,
-                    deadline_ms: r.deadline_ms,
+                    pickup: t.pickup,
+                    dropoff: t.dropoff,
+                    request_ms: t.request_ms,
+                    deadline_ms: deadlines[next_trip],
                 });
-                events.push(Reverse((r.deadline_ms, PRI_DEADLINE, next_trip as u32)));
+                events.push(
+                    (deadlines[next_trip], PRI_DEADLINE, next_trip as u32),
+                    shard_of(pickup_region),
+                );
                 next_trip += 1;
                 events_processed += 1;
                 changed = true;
@@ -442,7 +464,7 @@ impl<'a> Simulator<'a> {
             // 2. Apply dropoffs, shift changes and passed deadlines in
             // timestamp order, each at its true event time.
             loop {
-                let heap_next = events.peek().map(|&Reverse(k)| k);
+                let heap_next = events.peek();
                 let phase_next = phases
                     .get(next_phase)
                     .map(|&(from, _)| (from, PRI_SHIFT, next_phase as u32));
@@ -464,15 +486,18 @@ impl<'a> Simulator<'a> {
                     PRI_DROPOFF => {
                         events.pop();
                         let d = id as usize;
-                        let DriverState::Busy { until_ms, dropoff } = drivers[d] else {
-                            unreachable!("dropoff event for a non-busy driver");
-                        };
-                        debug_assert_eq!(until_ms, t);
-                        drivers[d] = if retiring[d] {
+                        assert_eq!(
+                            fleet.tag(d),
+                            Tag::Busy,
+                            "dropoff event for a non-busy driver"
+                        );
+                        let dropoff = fleet.pos(d);
+                        debug_assert_eq!(fleet.time(d), t);
+                        if fleet.is_retiring(d) {
                             // Already out of the rejoin multiset since the
                             // retirement was marked.
-                            retiring[d] = false;
-                            DriverState::Offline { pos: dropoff }
+                            fleet.set_retiring(d, false);
+                            fleet.set_offline(d);
                         } else {
                             avail_index.insert(DriverId(id), dropoff);
                             let r = self.grid.region_of(dropoff);
@@ -484,11 +509,8 @@ impl<'a> Simulator<'a> {
                                 pos: dropoff,
                                 available_since_ms: t,
                             });
-                            DriverState::Available {
-                                pos: dropoff,
-                                since_ms: t,
-                            }
-                        };
+                            fleet.set_available(d, dropoff, t);
+                        }
                         events_processed += 1;
                         changed = true;
                     }
@@ -497,8 +519,7 @@ impl<'a> Simulator<'a> {
                         let target = phases[id as usize].1;
                         changed |= reconcile_fleet(
                             self.grid,
-                            &mut drivers,
-                            &mut retiring,
+                            &mut fleet,
                             &mut avail_index,
                             &mut counts,
                             &mut views,
@@ -513,10 +534,10 @@ impl<'a> Simulator<'a> {
                         // Deadlines of assigned riders are stale no-ops.
                         if !rider_assigned[ri] {
                             views.remove_waiting(RiderId(id));
-                            counts.remove_waiting(self.grid.region_of(riders[ri].trip.pickup));
+                            counts.remove_waiting(self.grid.region_of(trips[ri].pickup));
                             reneges.push(RenegeRecord {
                                 rider: RiderId(id),
-                                request_ms: riders[ri].trip.request_ms,
+                                request_ms: trips[ri].request_ms,
                                 renege_ms: t,
                             });
                             events_processed += 1;
@@ -579,7 +600,7 @@ impl<'a> Simulator<'a> {
                 for a in &batch_assignments {
                     let ri = a.rider.0;
                     assert!(
-                        (ri as usize) < riders.len()
+                        (ri as usize) < trips.len()
                             && views.waiting_slot(a.rider).is_some()
                             && !rider_assigned[ri as usize],
                         "policy assigned unknown or unavailable rider {}",
@@ -587,57 +608,58 @@ impl<'a> Simulator<'a> {
                     );
                     let di = a.driver.0 as usize;
                     assert!(
-                        di < drivers.len(),
+                        di < fleet.len(),
                         "policy assigned unknown driver {}",
                         a.driver
                     );
-                    let DriverState::Available { pos, since_ms } = drivers[di] else {
-                        match drivers[di] {
-                            DriverState::Busy { .. } => {
-                                panic!("policy assigned busy driver {}", a.driver)
-                            }
-                            _ => panic!("policy assigned offline driver {}", a.driver),
-                        }
-                    };
+                    match fleet.tag(di) {
+                        Tag::Available => {}
+                        Tag::Busy => panic!("policy assigned busy driver {}", a.driver),
+                        Tag::Offline => panic!("policy assigned offline driver {}", a.driver),
+                    }
+                    let (pos, since_ms) = (fleet.pos(di), fleet.time(di));
                     assert!(
                         !driver_taken[di],
                         "policy assigned driver {} twice in one batch",
                         a.driver
                     );
                     driver_taken[di] = true;
-                    let rider = &riders[ri as usize];
+                    let trip = &trips[ri as usize];
+                    let deadline_ms = deadlines[ri as usize];
                     let pickup_ms = if teleport {
                         tick
                     } else {
-                        tick + self.travel.travel_time_ms(pos, rider.trip.pickup)
+                        tick + self.travel.travel_time_ms(pos, trip.pickup)
                     };
                     assert!(
-                        pickup_ms <= rider.deadline_ms,
-                        "policy violated the pickup deadline: pickup at {pickup_ms}, deadline {}",
-                        rider.deadline_ms
+                        pickup_ms <= deadline_ms,
+                        "policy violated the pickup deadline: pickup at {pickup_ms}, deadline {deadline_ms}"
                     );
-                    let ride_ms = self
-                        .travel
-                        .travel_time_ms(rider.trip.pickup, rider.trip.dropoff);
+                    let ride_ms = self.travel.travel_time_ms(trip.pickup, trip.dropoff);
                     let dropoff_ms = pickup_ms + ride_ms;
                     let revenue = ride_ms as f64 / 1000.0; // α = 1, cost in seconds
-                    drivers[di] = DriverState::Busy {
-                        until_ms: dropoff_ms,
-                        dropoff: rider.trip.dropoff,
-                    };
+                    fleet.set_busy(di, trip.dropoff, dropoff_ms);
                     let removed = avail_index.remove_at(a.driver, pos);
                     debug_assert_eq!(removed, 1, "index out of sync at assignment");
-                    counts.remove_waiting(self.grid.region_of(rider.trip.pickup));
+                    let dropoff_region = self.grid.region_of(trip.dropoff);
+                    counts.remove_waiting(self.grid.region_of(trip.pickup));
                     counts.remove_available(self.grid.region_of(pos));
-                    counts.add_rejoining(self.grid.region_of(rider.trip.dropoff), dropoff_ms);
+                    counts.add_rejoining(dropoff_region, dropoff_ms);
                     views.remove_waiting(a.rider);
                     views.remove_available(a.driver);
                     views.add_busy(BusyDriver {
                         id: a.driver,
                         dropoff_ms,
-                        dropoff_pos: rider.trip.dropoff,
+                        dropoff_pos: trip.dropoff,
                     });
-                    events.push(Reverse((dropoff_ms, PRI_DROPOFF, a.driver.0)));
+                    // Cross-shard handoff: the ride ends wherever it
+                    // ends, so the dropoff event lands in the dropoff
+                    // region's shard — always at a batch timestamp,
+                    // where dispatch is already a barrier.
+                    events.push(
+                        (dropoff_ms, PRI_DROPOFF, a.driver.0),
+                        shard_of(dropoff_region),
+                    );
                     rider_assigned[ri as usize] = true;
                     served += 1;
                     total_revenue += revenue;
@@ -649,7 +671,7 @@ impl<'a> Simulator<'a> {
                         dropoff_ms,
                         revenue,
                         driver_idle_ms: tick - since_ms,
-                        dropoff_region: self.grid.region_of(rider.trip.dropoff),
+                        dropoff_region,
                         estimated_idle_s: a.estimated_idle_s,
                     });
                 }
@@ -670,7 +692,7 @@ impl<'a> Simulator<'a> {
             }
             // Deadline events of already-assigned riders are stale —
             // drop them so they cannot schedule pointless wake-ups.
-            while let Some(&Reverse((_, pri, id))) = events.peek() {
+            while let Some((_, pri, id)) = events.peek() {
                 if pri == PRI_DEADLINE && rider_assigned[id as usize] {
                     events.pop();
                 } else {
@@ -688,13 +710,13 @@ impl<'a> Simulator<'a> {
             let mut consider = |t: Millis| {
                 next_tick = Some(next_tick.map_or(t, |c: Millis| c.min(t)));
             };
-            if next_trip < riders.len() {
-                consider(at_or_after(riders[next_trip].trip.request_ms));
+            if next_trip < trips.len() {
+                consider(at_or_after(trips[next_trip].request_ms));
             }
             if let Some(&(from, _)) = phases.get(next_phase) {
                 consider(at_or_after(from));
             }
-            if let Some(&Reverse((t, pri, _))) = events.peek() {
+            if let Some((t, pri, _)) = events.peek() {
                 consider(if pri == PRI_DEADLINE {
                     strictly_after(t)
                 } else {
@@ -717,33 +739,32 @@ impl<'a> Simulator<'a> {
         // are on the queue, then flush it. A deadline before the horizon
         // is a renege at exactly that time; later deadlines are still
         // waiting when the day ends.
-        while next_trip < riders.len() {
-            events.push(Reverse((
-                riders[next_trip].deadline_ms,
-                PRI_DEADLINE,
-                next_trip as u32,
-            )));
+        while next_trip < trips.len() {
+            events.push(
+                (deadlines[next_trip], PRI_DEADLINE, next_trip as u32),
+                shard_of(self.grid.region_of(trips[next_trip].pickup)),
+            );
             next_trip += 1;
         }
-        while let Some(Reverse((t, pri, id))) = events.pop() {
+        while let Some((t, pri, id)) = events.pop() {
             if pri == PRI_DEADLINE && !rider_assigned[id as usize] && t < horizon {
                 reneges.push(RenegeRecord {
                     rider: RiderId(id),
-                    request_ms: riders[id as usize].trip.request_ms,
+                    request_ms: trips[id as usize].request_ms,
                     renege_ms: t,
                 });
             }
         }
         let reneged = reneges.len();
-        let still_waiting = riders.len() - served - reneged;
-        debug_assert_eq!(served + reneged + still_waiting, riders.len());
+        let still_waiting = trips.len() - served - reneged;
+        debug_assert_eq!(served + reneged + still_waiting, trips.len());
 
         SimResult {
             policy: policy.name(),
             total_revenue,
             served,
             reneged,
-            total_riders: riders.len(),
+            total_riders: trips.len(),
             still_waiting,
             batch_time,
             batches: horizon.div_ceil(delta) as usize,
@@ -1493,6 +1514,48 @@ mod tests {
         assert_eq!(res.reneges[0].rider, RiderId(0));
         assert_eq!(res.reneges[0].request_ms, 0);
         assert!((res.mean_renege_wait_s() - exact as f64 / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn results_are_invariant_to_the_event_shard_count() {
+        // The sharded queue's tournament must reproduce the single
+        // global heap's pop order exactly, so any shard count — the
+        // single-queue reference (1), auto (0), or arbitrary (7, 1000)
+        // — yields byte-identical results, shift changes included.
+        let grid = Grid::nyc_16x16();
+        let travel = ConstantSpeedModel::new(8.0);
+        let trips = mk_trips(140);
+        let drivers: Vec<Point> = (0..7)
+            .map(|i| Point::new(-73.97 - (i % 4) as f64 * 0.003, 40.75))
+            .collect();
+        let schedule = DriverSchedule::new(vec![(0, 7), (1_200_000, 3), (2_400_000, 6)]);
+        let run_with = |event_shards: usize| {
+            let sim = Simulator::new(
+                SimConfig {
+                    horizon_ms: 3_600_000,
+                    event_shards,
+                    ..SimConfig::default()
+                },
+                &travel,
+                &grid,
+            );
+            sim.run_scheduled(&trips, &drivers, &schedule, &mut FirstFit)
+        };
+        let single = run_with(1);
+        assert!(single.served > 0 && single.reneged > 0);
+        for shards in [0, 2, 7, 1000] {
+            let sharded = run_with(shards);
+            assert_eq!(single.served, sharded.served);
+            assert_eq!(single.reneged, sharded.reneged);
+            assert_eq!(
+                single.total_revenue.to_bits(),
+                sharded.total_revenue.to_bits()
+            );
+            assert_eq!(single.ticks_executed, sharded.ticks_executed);
+            assert_eq!(single.events_processed, sharded.events_processed);
+            assert_eq!(single.assignments, sharded.assignments);
+            assert_eq!(single.reneges, sharded.reneges);
+        }
     }
 
     #[test]

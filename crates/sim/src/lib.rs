@@ -38,10 +38,12 @@
 
 pub mod counts;
 pub mod engine;
+mod fleet;
 pub mod metrics;
 pub mod policy;
 pub mod reference;
 pub mod schedule;
+pub mod shard;
 pub mod types;
 pub mod views;
 
@@ -52,5 +54,6 @@ pub use policy::{
     Assignment, AvailableDriver, BatchContext, BusyDriver, DispatchPolicy, WaitingRider,
 };
 pub use schedule::DriverSchedule;
+pub use shard::{EventKey, ShardedEventQueue};
 pub use types::{DriverId, Millis, RiderId};
 pub use views::BatchViews;

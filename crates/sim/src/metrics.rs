@@ -6,7 +6,7 @@ use mrvd_stats::SummaryStats;
 use crate::types::{DriverId, Millis, RiderId};
 
 /// One completed assignment, with everything the evaluation joins on.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AssignmentRecord {
     /// The served rider.
     pub rider: RiderId,

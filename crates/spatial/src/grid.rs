@@ -44,13 +44,19 @@ impl Grid {
     /// Creates a grid over `[min, max]` with the given cell counts.
     ///
     /// # Panics
-    /// Panics if the box is degenerate or a cell count is zero.
+    /// Panics if the box is degenerate, a cell count is zero, or the
+    /// region count `rows × cols` does not fit a `u32` (region ids are
+    /// `u32`, so `row * cols + col` must never overflow).
     pub fn new(min: Point, max: Point, cols: u32, rows: u32) -> Self {
         assert!(
             max.lon > min.lon && max.lat > min.lat,
             "Grid: degenerate box"
         );
         assert!(cols > 0 && rows > 0, "Grid: cols and rows must be positive");
+        assert!(
+            (cols as u64) * (rows as u64) <= u32::MAX as u64,
+            "Grid: region count {cols}×{rows} overflows u32 region ids"
+        );
         Self {
             min,
             max,
@@ -76,7 +82,9 @@ impl Grid {
 
     /// Total number of regions.
     pub fn num_regions(&self) -> usize {
-        (self.cols * self.rows) as usize
+        // The constructor guarantees cols × rows ≤ u32::MAX, but widen
+        // before multiplying so the arithmetic itself cannot overflow.
+        self.cols as usize * self.rows as usize
     }
 
     /// Bounding box minimum corner.
@@ -273,12 +281,122 @@ mod tests {
         assert!((2_200.0..2_500.0).contains(&h), "h {h}");
     }
 
+    #[test]
+    #[should_panic(expected = "overflows u32 region ids")]
+    fn constructor_rejects_region_count_overflow() {
+        Grid::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0), 1 << 17, 1 << 16);
+    }
+
+    #[test]
+    fn largest_admissible_grid_constructs() {
+        // 65535 × 65535 = 4 294 836 225 ≤ u32::MAX: the constructor bound
+        // is exactly the id-arithmetic bound, not something tighter.
+        let g = Grid::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0), 65_535, 65_535);
+        assert_eq!(g.num_regions(), 65_535usize * 65_535);
+        let last = RegionId((g.num_regions() - 1) as u32);
+        assert_eq!(g.coords(last), (65_534, 65_534));
+    }
+
+    #[test]
+    fn center_round_trips_on_a_200x200_grid() {
+        // City-scale audit: every region's center maps back to it and
+        // coords/at stay inverses — 40 000 regions, u32 id arithmetic.
+        let g = Grid::new(NYC_EXTENT.0, NYC_EXTENT.1, 200, 200);
+        for id in g.regions() {
+            assert_eq!(g.region_of(g.center(id)), id);
+            let (c, r) = g.coords(id);
+            assert_eq!(g.at(c as i64, r as i64), Some(id));
+        }
+    }
+
+    #[test]
+    fn region_of_is_total_for_degenerate_points_on_a_city_scale_grid() {
+        // NaN casts to 0 and clamps to the first cell; infinities and
+        // extreme magnitudes saturate and clamp to a border cell. None
+        // may panic or produce an out-of-range id.
+        let g = Grid::new(NYC_EXTENT.0, NYC_EXTENT.1, 200, 200);
+        let specials = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            -f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+        ];
+        for &lon in &specials {
+            for &lat in &specials {
+                let id = g.region_of(Point::new(lon, lat));
+                assert!(id.idx() < g.num_regions(), "({lon}, {lat}) → {id}");
+            }
+        }
+        // NaN-adjacent boundary nudges: one ulp either side of interior
+        // cell boundaries must land in one of the two adjacent cells.
+        let (lo, _) = g.cell_box(g.at(100, 100).unwrap());
+        for (lon, lat) in [
+            (f64::from_bits(lo.lon.to_bits() - 1), lo.lat),
+            (f64::from_bits(lo.lon.to_bits() + 1), lo.lat),
+            (lo.lon, f64::from_bits(lo.lat.to_bits() - 1)),
+            (lo.lon, f64::from_bits(lo.lat.to_bits() + 1)),
+        ] {
+            let id = g.region_of(Point::new(lon, lat));
+            let (c, r) = g.coords(id);
+            assert!((99..=100).contains(&c), "col {c}");
+            assert!((99..=100).contains(&r), "row {r}");
+        }
+    }
+
     proptest! {
         #[test]
         fn region_of_is_total(lon in -80.0f64..-70.0, lat in 38.0f64..43.0) {
             let g = nyc();
             let id = g.region_of(Point::new(lon, lat));
             prop_assert!(id.idx() < g.num_regions());
+        }
+
+        /// City-scale grids: centers round-trip through `region_of`, and
+        /// `coords`/`at` stay inverses, for arbitrary grid shapes beyond
+        /// the paper's 16×16 (up to 256×256 here; the dedicated 200×200
+        /// test covers the full sweep deterministically).
+        #[test]
+        fn city_scale_center_round_trips(
+            cols in 64u32..=256,
+            rows in 64u32..=256,
+            raw in 0u32..1_000_000,
+        ) {
+            let g = Grid::new(NYC_EXTENT.0, NYC_EXTENT.1, cols, rows);
+            let id = RegionId(raw % g.num_regions() as u32);
+            prop_assert_eq!(g.region_of(g.center(id)), id);
+            let (c, r) = g.coords(id);
+            prop_assert_eq!(g.at(c as i64, r as i64), Some(id));
+        }
+
+        /// Out-of-box points clamp to a border cell on city-scale grids.
+        #[test]
+        fn city_scale_out_of_box_clamps_to_border(
+            cols in 64u32..=256,
+            rows in 64u32..=256,
+            lon in -180.0f64..180.0,
+            lat in -89.0f64..89.0,
+        ) {
+            let g = Grid::new(NYC_EXTENT.0, NYC_EXTENT.1, cols, rows);
+            let id = g.region_of(Point::new(lon, lat));
+            prop_assert!(id.idx() < g.num_regions());
+            let (c, r) = g.coords(id);
+            if lon < g.min().lon {
+                prop_assert_eq!(c, 0);
+            }
+            if lon > g.max().lon {
+                prop_assert_eq!(c, cols - 1);
+            }
+            if lat < g.min().lat {
+                prop_assert_eq!(r, 0);
+            }
+            if lat > g.max().lat {
+                prop_assert_eq!(r, rows - 1);
+            }
         }
 
         #[test]

@@ -259,7 +259,13 @@ impl<T: Copy> RegionIndex<T> {
     /// Collects up to `cap` items whose straight-line distance to `p` is at
     /// most `radius_m`, searching outward by rings. The result is not
     /// sorted; callers order by their own criterion (travel time, cost…).
-    pub fn within_radius(&self, p: Point, radius_m: f64, cap: usize) -> Vec<(T, Point)> {
+    /// A binding cap keeps the `cap` nearest qualifying items, ties broken
+    /// by item then position — never a prefix in bucket order, which would
+    /// depend on the index's churn history.
+    pub fn within_radius(&self, p: Point, radius_m: f64, cap: usize) -> Vec<(T, Point)>
+    where
+        T: Ord,
+    {
         let mut out = Vec::new();
         self.within_radius_into(p, radius_m, cap, &mut out);
         out
@@ -268,13 +274,10 @@ impl<T: Copy> RegionIndex<T> {
     /// Like [`RegionIndex::within_radius`], appending into a caller-held
     /// buffer so per-query allocations amortize away. `out` is cleared
     /// first.
-    pub fn within_radius_into(
-        &self,
-        p: Point,
-        radius_m: f64,
-        cap: usize,
-        out: &mut Vec<(T, Point)>,
-    ) {
+    pub fn within_radius_into(&self, p: Point, radius_m: f64, cap: usize, out: &mut Vec<(T, Point)>)
+    where
+        T: Ord,
+    {
         out.clear();
         if cap == 0 {
             return;
@@ -289,13 +292,27 @@ impl<T: Copy> RegionIndex<T> {
             for &(item, q) in items {
                 if p.distance_m(&q) <= radius_m {
                     out.push((item, q));
-                    if out.len() >= cap {
-                        return false;
-                    }
                 }
             }
-            true
+            // A binding cap stops the expansion only at a ring boundary:
+            // every bucket of the current ring still contributes, so the
+            // collected set never depends on bucket or visit order.
+            out.len() < cap
         });
+        if out.len() > cap {
+            // Deterministic cut: keep the `cap` nearest, ids (then
+            // position bits) breaking distance ties.
+            out.sort_unstable_by(|a, b| {
+                p.distance_m(&a.1)
+                    .total_cmp(&p.distance_m(&b.1))
+                    .then_with(|| a.0.cmp(&b.0))
+                    .then_with(|| {
+                        (a.1.lon.to_bits(), a.1.lat.to_bits())
+                            .cmp(&(b.1.lon.to_bits(), b.1.lat.to_bits()))
+                    })
+            });
+            out.truncate(cap);
+        }
     }
 }
 
@@ -503,6 +520,66 @@ mod tests {
         }
         assert_eq!(ix.within_radius(p, 100.0, 10).len(), 10);
         assert!(ix.within_radius(p, 100.0, 0).is_empty());
+    }
+
+    #[test]
+    fn binding_cap_is_deterministic_across_bucket_orders() {
+        // Regression: the old cap cut truncated in bucket order, so a
+        // live index (whose bucket order reflects churn history) and a
+        // rebuilt one could return *different candidate sets* under a
+        // binding cap. The cut must depend only on (distance, id).
+        let g = grid();
+        let p = Point::new(-73.905, 40.75);
+        // Five items in one region at strictly increasing distances.
+        let pts: Vec<Point> = (0..5)
+            .map(|i| Point::new(-73.905 + i as f64 * 0.0004, 40.75))
+            .collect();
+        let r = g.region_of(p);
+        assert!(
+            pts.iter().all(|q| g.region_of(*q) == r),
+            "fixture points must share a region"
+        );
+        // Live index: remove + re-insert item 0 leaves it at the tail.
+        let mut live = RegionIndex::new(g.clone());
+        for (i, &q) in pts.iter().enumerate() {
+            live.insert(i as u32, q);
+        }
+        live.remove_at(0, pts[0]);
+        live.insert(0, pts[0]);
+        let mut rebuilt = RegionIndex::new(g.clone());
+        rebuilt.rebuild_reference(pts.iter().enumerate().map(|(i, &q)| (i as u32, q)));
+        // The bucket orders genuinely differ…
+        assert_ne!(live.in_region(r), rebuilt.in_region(r));
+        // …yet a binding cap returns the identical nearest set.
+        let ids = |v: Vec<(u32, Point)>| {
+            let mut ids: Vec<u32> = v.into_iter().map(|(i, _)| i).collect();
+            ids.sort_unstable();
+            ids
+        };
+        let a = ids(live.within_radius(p, 10_000.0, 3));
+        let b = ids(rebuilt.within_radius(p, 10_000.0, 3));
+        assert_eq!(a, b);
+        assert_eq!(a, vec![0, 1, 2], "the cut keeps the nearest cap items");
+        // A non-binding cap still returns everything in range.
+        assert_eq!(ids(live.within_radius(p, 10_000.0, 5)).len(), 5);
+    }
+
+    #[test]
+    fn binding_cap_breaks_distance_ties_by_id() {
+        // All items equidistant (same point): the kept set must be the
+        // lowest ids regardless of insertion order.
+        let mut ix = RegionIndex::new(grid());
+        let p = Point::new(-73.9, 40.75);
+        for i in (0..20u32).rev() {
+            ix.insert(i, p);
+        }
+        let mut got: Vec<u32> = ix
+            .within_radius(p, 100.0, 4)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
     }
 
     #[test]
