@@ -21,7 +21,7 @@
 //! prediction-aware and matching-based but ignores the *destination-side
 //! queueing* of drivers — exactly the axis the queueing framework adds.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mrvd_demand::SLOT_MS;
 use mrvd_sim::{Assignment, BatchContext, DispatchPolicy};
@@ -53,9 +53,13 @@ pub struct Polar {
     cfg: PolarConfig,
     oracle_label: &'static str,
     /// Flow plan per slot: `(supply region, demand region) → planned flow`.
-    blueprint: Vec<HashMap<(u32, u32), f64>>,
+    /// Ordered map so every traversal (tests, debugging, future
+    /// rebalancing passes) sees region pairs in key order, never hash
+    /// order; the policy itself only ever does keyed lookups, so the
+    /// switch from `HashMap` is bit-identical by construction.
+    blueprint: Vec<BTreeMap<(u32, u32), f64>>,
     /// Remaining flow of the slot currently being executed.
-    remaining: HashMap<(u32, u32), f64>,
+    remaining: BTreeMap<(u32, u32), f64>,
     current_slot: Option<usize>,
     scratch: CandidateScratch,
 }
@@ -106,7 +110,7 @@ impl Polar {
             };
             let mut need: Vec<f64> = demand[slot].clone();
             // Greedy proximity transport.
-            let mut flows = HashMap::new();
+            let mut flows = BTreeMap::new();
             for &(k, j) in &by_distance {
                 let f = supply[k as usize].min(need[j as usize]);
                 if f > 1e-9 {
@@ -121,7 +125,7 @@ impl Polar {
             cfg,
             oracle_label: oracle.label(),
             blueprint,
-            remaining: HashMap::new(),
+            remaining: BTreeMap::new(),
             current_slot: None,
             scratch: CandidateScratch::new(),
         }
@@ -303,6 +307,87 @@ mod tests {
         // Rolling to a new slot refreshes the budget.
         polar.roll_slot(SLOT_MS);
         assert_eq!(polar.current_slot, Some(1));
+    }
+
+    /// Transcription of the pre-BTreeMap blueprint construction, kept
+    /// verbatim on `std::collections::HashMap`: the greedy transport
+    /// iterates `by_distance` (a Vec), so insertion order — not map
+    /// order — drives the arithmetic, and the switch of map type must
+    /// be bit-identical per key.
+    fn hashmap_reference_blueprint(
+        oracle: &DemandOracle,
+        grid: &Grid,
+        n_drivers: usize,
+    ) -> Vec<std::collections::HashMap<(u32, u32), f64>> {
+        let demand = oracle.full_day_forecast();
+        let n = grid.num_regions();
+        let mut by_distance: Vec<(u32, u32)> = Vec::with_capacity(n * n);
+        for k in 0..n as u32 {
+            for j in 0..n as u32 {
+                by_distance.push((k, j));
+            }
+        }
+        let dist = |k: u32, j: u32| {
+            grid.center(RegionId(k))
+                .distance_m(&grid.center(RegionId(j)))
+        };
+        by_distance.sort_by(|&(a, b), &(c, d)| {
+            dist(a, b)
+                .partial_cmp(&dist(c, d))
+                .expect("distances are finite")
+                .then((a, b).cmp(&(c, d)))
+        });
+        let mut blueprint = Vec::with_capacity(demand.len());
+        for slot in 0..demand.len() {
+            let supply_src = if slot == 0 {
+                &demand[0]
+            } else {
+                &demand[slot - 1]
+            };
+            let total: f64 = supply_src.iter().sum();
+            let mut supply: Vec<f64> = if total > 0.0 {
+                supply_src
+                    .iter()
+                    .map(|&x| x / total * n_drivers as f64)
+                    .collect()
+            } else {
+                vec![n_drivers as f64 / n as f64; n]
+            };
+            let mut need: Vec<f64> = demand[slot].clone();
+            let mut flows = std::collections::HashMap::new();
+            for &(k, j) in &by_distance {
+                let f = supply[k as usize].min(need[j as usize]);
+                if f > 1e-9 {
+                    supply[k as usize] -= f;
+                    need[j as usize] -= f;
+                    flows.insert((k, j), f);
+                }
+            }
+            blueprint.push(flows);
+        }
+        blueprint
+    }
+
+    #[test]
+    fn btreemap_blueprint_is_bit_identical_to_hashmap_reference() {
+        let grid = Grid::nyc_16x16();
+        let oracle = oracle(&grid);
+        let polar = Polar::new(PolarConfig::default(), &oracle, &grid, 100);
+        let reference = hashmap_reference_blueprint(&oracle, &grid, 100);
+        assert_eq!(polar.blueprint.len(), reference.len());
+        for (slot, (live, refr)) in polar.blueprint.iter().zip(&reference).enumerate() {
+            assert_eq!(live.len(), refr.len(), "slot {slot}: key count differs");
+            for (key, &flow) in live {
+                let expected = refr
+                    .get(key)
+                    .unwrap_or_else(|| panic!("slot {slot}: key {key:?} missing in reference"));
+                assert_eq!(
+                    flow.to_bits(),
+                    expected.to_bits(),
+                    "slot {slot}: flow for {key:?} differs"
+                );
+            }
+        }
     }
 
     #[test]

@@ -39,6 +39,8 @@
 //! multiplies each scale-axis point's orders and drivers by `--scale`
 //! (grid sizes are fixed — resolution is the axis under test).
 
+#![forbid(unsafe_code)]
+
 mod common;
 mod delta;
 mod figures;

@@ -1,0 +1,32 @@
+//! D001 fixture: iterating hash-ordered collections in non-test code.
+
+use std::collections::{HashMap, HashSet};
+
+fn sum_values(counts: &HashMap<u32, f64>) -> f64 {
+    let counts: HashMap<u32, f64> = counts.clone();
+    let mut total = 0.0;
+    for v in counts.values() {
+        total += v;
+    }
+    total
+}
+
+fn drain_set(mut seen: HashSet<u32>) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::new();
+    for x in &seen {
+        out.push(*x);
+    }
+    seen.drain();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_iteration_in_tests_is_fine() {
+        let m: HashMap<u32, f64> = HashMap::new();
+        for _ in m.keys() {}
+    }
+}

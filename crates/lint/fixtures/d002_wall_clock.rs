@@ -1,0 +1,22 @@
+//! D002 fixture: wall-clock reads in non-test code.
+
+fn bad_timestamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+fn bad_epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+fn allowed_with_reason() -> std::time::Instant {
+    // lint:allow(D002): telemetry only, never feeds simulated state
+    std::time::Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_a_test_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,23 @@
+//! D003 fixture: ambient randomness. Fires even inside tests — a seed
+//! that changes per run makes failures unreproducible everywhere.
+
+use rand::Rng;
+
+fn bad_sample() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn bad_shortcut() -> u32 {
+    rand::random()
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    #[test]
+    fn entropy_seeding_fires_even_in_tests() {
+        let _rng = rand::rngs::StdRng::from_entropy();
+    }
+}

@@ -1,0 +1,18 @@
+//! D004 fixture: float comparator sorts without an id tie-break.
+
+fn bad_sort(edges: &mut Vec<(f64, u32)>) {
+    edges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+}
+
+fn bad_min(xs: &[(f64, u32)]) -> Option<&(f64, u32)> {
+    xs.iter().min_by(|a, b| a.0.total_cmp(&b.0))
+}
+
+fn good_sort(edges: &mut Vec<(f64, u32)>) {
+    edges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+}
+
+fn good_max(xs: &[(f64, u32)]) -> Option<&(f64, u32)> {
+    xs.iter()
+        .max_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)))
+}

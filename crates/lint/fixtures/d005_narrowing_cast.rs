@@ -1,0 +1,14 @@
+//! D005 fixture: narrowing casts in region arithmetic. Only fires when
+//! analyzed under a `crates/spatial/` path.
+
+fn bad_region_id(row: u64, cols: u64, col: u64) -> u32 {
+    (row * cols + col) as u32
+}
+
+fn bad_index(id: i64) -> usize {
+    id as usize
+}
+
+fn good_region_id(row: u64, cols: u64, col: u64) -> u32 {
+    u32::try_from(row * cols + col).expect("caller bounds the grid")
+}

@@ -1,0 +1,10 @@
+//! D006 fixture: `unsafe` without a SAFETY comment. Fires even in tests.
+
+fn bad_unsafe(xs: &[u32]) -> u32 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+fn good_unsafe(xs: &[u32]) -> u32 {
+    // SAFETY: the caller guarantees xs is non-empty.
+    unsafe { *xs.get_unchecked(0) }
+}

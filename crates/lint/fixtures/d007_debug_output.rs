@@ -1,0 +1,20 @@
+//! D007 fixture: debug-formatting a hash collection into output.
+
+use std::collections::HashMap;
+
+fn bad_report(per_region: &HashMap<u32, f64>) {
+    let per_region: HashMap<u32, f64> = per_region.clone();
+    println!("per-region rates: {:?}", per_region);
+}
+
+fn bad_inline_capture(per_region: &HashMap<u32, f64>) -> String {
+    let per_region: HashMap<u32, f64> = per_region.clone();
+    format!("{per_region:?}")
+}
+
+fn good_report(per_region: &HashMap<u32, f64>) {
+    // lint:allow(D001): entries are sorted below before formatting
+    let mut entries: Vec<_> = per_region.iter().collect();
+    entries.sort_by_key(|(k, _)| **k);
+    println!("per-region rates: {entries:?}");
+}

@@ -15,6 +15,8 @@
 //! dummy, which is only correct when real weights are non-negative — the
 //! MRVD weights are travel times or revenues, always ≥ 0).
 
+#![forbid(unsafe_code)]
+
 pub mod greedy;
 pub mod hopcroft_karp;
 pub mod hungarian;

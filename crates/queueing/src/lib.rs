@@ -20,6 +20,8 @@
 //! dispatching objective: the *idle ratio* `IR = ET / (cost + ET)` (Eq. 17,
 //! implemented in `mrvd-core`).
 
+#![forbid(unsafe_code)]
+
 pub mod idle;
 pub mod params;
 pub mod steady;

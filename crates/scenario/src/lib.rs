@@ -28,6 +28,7 @@
 //! not one lucky weekday.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod builtins;
 pub mod spec;

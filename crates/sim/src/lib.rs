@@ -35,6 +35,7 @@
 //! engine's skip/event counters.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod counts;
 pub mod engine;

@@ -208,9 +208,12 @@ impl SimResult {
     /// each pair) — the per-region breakdown of Figure 6.
     pub fn idle_estimate_pairs_by_region(&self) -> Vec<(RegionId, f64, f64)> {
         // Assignment indices per driver, in chronological order (the log
-        // itself is chronological).
-        let mut per_driver: std::collections::HashMap<DriverId, Vec<usize>> =
-            std::collections::HashMap::new();
+        // itself is chronological). BTreeMap: the pairs are emitted
+        // per-driver in ascending driver id, so the output order is a
+        // function of the log alone — a HashMap here leaked hash order
+        // into the Figure 6 data.
+        let mut per_driver: std::collections::BTreeMap<DriverId, Vec<usize>> =
+            std::collections::BTreeMap::new();
         for (i, a) in self.assignments.iter().enumerate() {
             per_driver.entry(a.driver).or_default().push(i);
         }
@@ -317,6 +320,67 @@ mod tests {
             reneges: vec![],
         };
         assert!(result.idle_estimate_pairs().is_empty());
+    }
+
+    #[test]
+    fn idle_pairs_are_emitted_in_driver_id_order() {
+        // Assignments logged with interleaved driver ids: the per-region
+        // pairs must come out grouped by ascending driver id regardless
+        // of log interleaving — the ordering a HashMap grouping leaked
+        // hash state into before the BTreeMap conversion.
+        let result = SimResult {
+            policy: "test".into(),
+            total_revenue: 0.0,
+            served: 6,
+            reneged: 0,
+            total_riders: 6,
+            still_waiting: 0,
+            batch_time: SummaryStats::new(),
+            batches: 4,
+            ticks_executed: 4,
+            events_processed: 0,
+            index_ops: 0,
+            index_regions_dirtied: 0,
+            index_rebuilds_avoided: 0,
+            counts_ops: 0,
+            counts_regions_dirtied: 0,
+            views_ops: 0,
+            views_entries_dirtied: 0,
+            views_rebuilds_avoided: 0,
+            assignments: vec![
+                rec(7, 10_000, 10_000, 100_000, Some(30.0)),
+                rec(2, 12_000, 12_000, 110_000, Some(20.0)),
+                rec(5, 14_000, 14_000, 120_000, Some(10.0)),
+                rec(2, 150_000, 40_000, 210_000, Some(1.0)),
+                rec(7, 160_000, 60_000, 220_000, Some(2.0)),
+                rec(5, 170_000, 50_000, 230_000, Some(3.0)),
+            ],
+            reneges: vec![],
+        };
+        let pairs = result.idle_estimate_pairs();
+        // Driver 2's pair first, then 5's, then 7's.
+        assert_eq!(pairs, vec![(20.0, 40.0), (10.0, 50.0), (30.0, 60.0)]);
+
+        // Same join rebuilt through an unordered grouping yields the
+        // same multiset — only the emission order was at stake.
+        let mut by_driver: std::collections::HashMap<DriverId, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, a) in result.assignments.iter().enumerate() {
+            by_driver.entry(a.driver).or_default().push(i);
+        }
+        let mut reference: Vec<(f64, f64)> = Vec::new();
+        for seq in by_driver.values() {
+            for w in seq.windows(2) {
+                let (cur, next) = (&result.assignments[w[0]], &result.assignments[w[1]]);
+                if let Some(est) = cur.estimated_idle_s {
+                    reference.push((est, next.driver_idle_ms as f64 / 1000.0));
+                }
+            }
+        }
+        reference.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut sorted = pairs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert_eq!(sorted, reference);
     }
 
     #[test]

@@ -16,6 +16,7 @@ impl RegionId {
     /// The raw index as a `usize`, for indexing per-region tables.
     #[inline]
     pub fn idx(self) -> usize {
+        // lint:allow(D005): u32 → usize widens on every supported target
         self.0 as usize
     }
 }
@@ -84,6 +85,7 @@ impl Grid {
     pub fn num_regions(&self) -> usize {
         // The constructor guarantees cols × rows ≤ u32::MAX, but widen
         // before multiplying so the arithmetic itself cannot overflow.
+        // lint:allow(D005): u32 → usize widens on every supported target
         self.cols as usize * self.rows as usize
     }
 
@@ -103,8 +105,10 @@ impl Grid {
     pub fn region_of(&self, p: Point) -> RegionId {
         let fx = (p.lon - self.min.lon) / (self.max.lon - self.min.lon);
         let fy = (p.lat - self.min.lat) / (self.max.lat - self.min.lat);
-        let col = ((fx * self.cols as f64) as i64).clamp(0, self.cols as i64 - 1) as u32;
-        let row = ((fy * self.rows as f64) as i64).clamp(0, self.rows as i64 - 1) as u32;
+        let col = ((fx * self.cols as f64) as i64).clamp(0, self.cols as i64 - 1);
+        let row = ((fy * self.rows as f64) as i64).clamp(0, self.rows as i64 - 1);
+        let col = u32::try_from(col).expect("clamped into grid bounds");
+        let row = u32::try_from(row).expect("clamped into grid bounds");
         RegionId(row * self.cols + col)
     }
 
@@ -122,7 +126,9 @@ impl Grid {
         if col < 0 || row < 0 || col >= self.cols as i64 || row >= self.rows as i64 {
             None
         } else {
-            Some(RegionId(row as u32 * self.cols + col as u32))
+            let col = u32::try_from(col).expect("bounds-checked above");
+            let row = u32::try_from(row).expect("bounds-checked above");
+            Some(RegionId(row * self.cols + col))
         }
     }
 
@@ -153,7 +159,8 @@ impl Grid {
 
     /// All region ids, in row-major order.
     pub fn regions(&self) -> impl Iterator<Item = RegionId> + '_ {
-        (0..self.num_regions() as u32).map(RegionId)
+        let n = u32::try_from(self.num_regions()).expect("constructor bounds regions to u32");
+        (0..n).map(RegionId)
     }
 
     /// Regions at exactly Chebyshev distance `ring` from `id`

@@ -158,7 +158,8 @@ impl<T: Copy> RegionIndex<T> {
         for i in 0..self.buckets.len() {
             if !self.buckets[i].is_empty() {
                 self.buckets[i].clear();
-                self.mark_dirty(RegionId(i as u32));
+                let id = u32::try_from(i).expect("bucket count bounded by u32 region ids");
+                self.mark_dirty(RegionId(id));
             }
         }
         self.len = 0;
@@ -287,6 +288,7 @@ impl<T: Copy> RegionIndex<T> {
         let cell = cw.min(ch);
         // Ring k is at least (k−1) cells away from p, so once
         // (ring−1)·cell > radius no further item can qualify.
+        // lint:allow(D005): f64 → u32 saturates by design and the grid bounds the ring walk
         let max_ring = (radius_m / cell).ceil() as u32 + 1;
         self.visit_rings(center, max_ring, |_, items| {
             for &(item, q) in items {

@@ -25,6 +25,7 @@
 //! cost function `cost(·, ·)` of Eq. 1.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod geo;
 pub mod grid;

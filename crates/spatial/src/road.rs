@@ -84,10 +84,16 @@ impl RoadNetwork {
         self.positions
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
+            .min_by(|(i, a), (j, b)| {
+                // Explicit tie-break on equal distances: the highest
+                // vertex id wins, which is exactly what `min_by` alone
+                // did on equal keys (it keeps the last minimum), so the
+                // snap stays bit-identical while no longer depending on
+                // that implicit behavior.
                 a.distance_m(&p)
                     .partial_cmp(&b.distance_m(&p))
                     .expect("distance is never NaN")
+                    .then(j.cmp(i))
             })
             .map(|(i, _)| i as VertexId)
     }
@@ -297,6 +303,24 @@ mod tests {
             RoadNetwork::new().nearest_vertex(Point::new(0.0, 0.0)),
             None
         );
+    }
+
+    #[test]
+    fn nearest_vertex_ties_break_to_highest_id() {
+        // Co-located vertices produce exactly equal distances: the
+        // explicit tie-break must reproduce what bare `min_by` did
+        // before it (keep the *last* minimum, i.e. the highest id).
+        let mut n = RoadNetwork::new();
+        n.add_vertex(Point::new(1.0, 1.0));
+        n.add_vertex(Point::new(1.0, 1.0));
+        n.add_vertex(Point::new(1.0, 1.0));
+        n.add_vertex(Point::new(5.0, 5.0));
+        assert_eq!(n.nearest_vertex(Point::new(1.0, 1.0)), Some(2));
+        // Equidistant distinct positions tie the same way.
+        let mut m = RoadNetwork::new();
+        m.add_vertex(Point::new(0.0, 1.0));
+        m.add_vertex(Point::new(0.0, -1.0));
+        assert_eq!(m.nearest_vertex(Point::new(0.0, 0.0)), Some(1));
     }
 
     #[test]

@@ -34,7 +34,17 @@ impl DispatchPolicy for EfficiencyGreedy {
                 edges.push((ride / (pickup + ride).max(1e-9), ri, di));
             }
         }
-        edges.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are finite"));
+        // Equal scores break on stable (rider id, driver id) — without
+        // the tie-break the greedy sweep would depend on the order the
+        // engine happens to hand out riders and drivers.
+        edges.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("scores are finite")
+                .then_with(|| {
+                    (ctx.riders[a.1].id, ctx.drivers[a.2].id)
+                        .cmp(&(ctx.riders[b.1].id, ctx.drivers[b.2].id))
+                })
+        });
         let mut rider_taken = vec![false; ctx.riders.len()];
         let mut driver_taken = vec![false; ctx.drivers.len()];
         let mut out = Vec::new();

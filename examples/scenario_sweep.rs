@@ -51,7 +51,13 @@ fn main() {
         let best = cells
             .iter()
             .filter(|c| c.scenario == spec.name)
-            .max_by(|a, b| a.service_rate.total_cmp(&b.service_rate))
+            .max_by(|a, b| {
+                // Ties prefer the lexicographically first policy name, so
+                // the takeaway line never depends on sweep cell order.
+                a.service_rate
+                    .total_cmp(&b.service_rate)
+                    .then_with(|| b.policy.cmp(a.policy))
+            })
             .expect("cells cover every scenario");
         println!(
             "  {:<18} {} ({:.1}%)",

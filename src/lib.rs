@@ -46,6 +46,8 @@
 //! | [`matching`] | `mrvd-matching` | greedy / Hungarian / Hopcroft–Karp |
 //! | [`stats`] | `mrvd-stats` | Poisson, chi-square, error metrics |
 
+#![forbid(unsafe_code)]
+
 pub use mrvd_core as core;
 pub use mrvd_demand as demand;
 pub use mrvd_matching as matching;

@@ -1,0 +1,50 @@
+//! Tier-1 gate: the workspace must be determinism-lint-clean.
+//!
+//! Runs the full `mrvd-lint` scan over the repository and fails on any
+//! unsuppressed finding — the same check CI runs and the `mrvd-lint`
+//! binary reports. A finding here means either fix the site or add a
+//! reasoned `// lint:allow(RULE): …` pragma / `lint.toml` entry.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = mrvd_lint::run_workspace(root).expect("scan the workspace");
+    assert!(
+        report.files_scanned > 100,
+        "scan looks truncated: only {} files",
+        report.files_scanned
+    );
+    let gating: Vec<_> = report.unsuppressed().collect();
+    assert!(
+        gating.is_empty(),
+        "{} unsuppressed determinism finding(s):\n{}",
+        gating.len(),
+        gating
+            .iter()
+            .map(|f| format!("  {}:{}: {} {}", f.path, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_suppression_carries_a_reason() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = mrvd_lint::run_workspace(root).expect("scan the workspace");
+    for f in &report.findings {
+        if let Some(s) = &f.suppressed {
+            let reason = match s {
+                mrvd_lint::Suppression::Pragma { reason } => reason,
+                mrvd_lint::Suppression::Config { reason, .. } => reason,
+            };
+            assert!(
+                !reason.trim().is_empty(),
+                "{}:{}: suppression without a reason",
+                f.path,
+                f.line
+            );
+        }
+    }
+}
