@@ -178,16 +178,41 @@ fn weekend_lull_matches_reference() {
     assert_builtin_equivalent("weekend-lull", SweepPolicy::IrgReal);
 }
 
+/// The parallel engine must be worker-count-invariant on every built-in:
+/// each scenario (at reduced volume, default Δ = 3 s) runs under
+/// workers ∈ {1, 2, 8} on the same materialized workload, and the
+/// results must match byte-for-byte — including the exact renege event
+/// times, which every worker count charges at the true deadlines.
+#[test]
+fn builtins_are_worker_count_invariant() {
+    for spec in builtins() {
+        let spec = quick(spec);
+        let workload = spec.materialize();
+        let sequential = run_scenario_configured(&workload, SweepPolicy::Near, None, None, Some(1));
+        for workers in [2, 8] {
+            let parallel =
+                run_scenario_configured(&workload, SweepPolicy::Near, None, None, Some(workers));
+            let name = format!("{}/workers={workers}", spec.name);
+            assert_equivalent(&name, &sequential, &parallel);
+            assert_eq!(
+                sequential.reneges, parallel.reneges,
+                "{name}: worker counts must renege at identical event times"
+            );
+        }
+    }
+}
+
 /// The large-grid acceptance check for the sharded event queue: a 64×64
-/// grid with a 2 000-driver fleet at Δ = 1 s, run three ways — sharded
-/// engine (auto shard count), forced single global heap, and the legacy
-/// reference loop — must produce identical results. Exact renege
-/// comparison between the two engine layouts (same event times); relaxed
+/// grid with a 2 000-driver fleet at Δ = 1 s, run four ways — sharded
+/// engine drained by an 8-worker pool, sequential sharded engine (auto
+/// shard count), forced single global heap, and the legacy reference
+/// loop — must produce identical results. Exact renege comparison
+/// between the engine layouts (same event times); relaxed
 /// renege-identity against the reference loop (it charges reneges up to
 /// Δ later). CI's `--ignored` pass covers it.
 #[test]
 #[ignore = "large-grid differential run (minutes); cargo test -- --ignored"]
-fn large_grid_sharded_matches_single_queue_and_reference() {
+fn large_grid_parallel_matches_sharded_single_queue_and_reference() {
     let mut spec = ScenarioSpec::plain(
         "large-grid",
         "64×64 grid, 2 000 drivers, Δ = 1 s",
@@ -200,9 +225,15 @@ fn large_grid_sharded_matches_single_queue_and_reference() {
     let workload = spec.materialize();
     for policy in [SweepPolicy::Near, SweepPolicy::IrgReal] {
         let name = format!("large-grid/{}", policy.label());
-        let sharded = run_scenario_configured(&workload, policy, None, None);
-        let single = run_scenario_configured(&workload, policy, None, Some(1));
+        let parallel = run_scenario_configured(&workload, policy, None, None, Some(8));
+        let sharded = run_scenario_configured(&workload, policy, None, None, Some(1));
+        let single = run_scenario_configured(&workload, policy, None, Some(1), Some(1));
+        assert_equivalent(&name, &parallel, &sharded);
         assert_equivalent(&name, &sharded, &single);
+        assert_eq!(
+            parallel.reneges, sharded.reneges,
+            "{name}: worker counts must renege at identical event times"
+        );
         assert_eq!(
             sharded.reneges, single.reneges,
             "{name}: engine layouts must renege at identical event times"

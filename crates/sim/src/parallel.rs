@@ -1,0 +1,403 @@
+//! Parallel intra-interval event drains over the sharded queue.
+//!
+//! Between two batch timestamps the engine only *pops* events — the
+//! dropoff/deadline arms never push, and cross-shard handoff (an
+//! assignment pushing a dropoff into another region's shard) happens
+//! only at batch timestamps, where dispatch is already a barrier. The
+//! set of due events is therefore fixed the moment a drain starts, and
+//! each shard's due prefix can be popped by a different worker with no
+//! coordination beyond the barrier itself.
+//!
+//! Byte-identity with the sequential loop comes from *where* the split
+//! is placed: workers only pop keys into per-worker buffers
+//! ([`DrainOut`]); the merge concatenates the buffers and sorts — event
+//! keys are globally unique, so the sort is a total order and the
+//! merged stream is exactly the sequential pop order — and the caller
+//! applies every state transition on the main thread, through the same
+//! code the sequential loop runs. No counter, view slot layout or dirty
+//! list can diverge, for any worker count.
+//!
+//! [`ShardSlots`] is the shared half (shard heaps behind mutexes, one
+//! atomic head-time filter per shard, one output slot per worker);
+//! [`ParallelQueue`] is the main-thread half owning the lazy tournament
+//! over shard heads (the same structure as
+//! [`ShardedEventQueue`](crate::shard::ShardedEventQueue)) plus the
+//! persistent [`BroadcastPool`] the drains are broadcast on. Outside a
+//! drain all locks are uncontended, so push/peek/pop stay cheap.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use mrvd_stats::BroadcastPool;
+
+use crate::shard::EventKey;
+use crate::types::Millis;
+
+/// One worker's drain output: the keys it popped (each shard's due
+/// prefix, in shard order) and which shards it popped from (so the
+/// merge can restore their tournament entries).
+#[derive(Debug, Default)]
+struct DrainOut {
+    keys: Vec<EventKey>,
+    touched: Vec<u32>,
+}
+
+/// Recover from a poisoned lock: shard heaps and drain buffers are
+/// only mutated under short push/pop critical sections that cannot
+/// panic halfway, so the state behind a poisoned lock is consistent.
+fn relock<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The shared (worker-visible) half of the parallel event queue: the
+/// per-shard heaps, a per-shard head-time filter, and one drain-output
+/// slot per worker.
+#[derive(Debug)]
+pub(crate) struct ShardSlots {
+    shards: Vec<Mutex<BinaryHeap<Reverse<EventKey>>>>,
+    /// `head_time[s]` is exactly the time of shard `s`'s minimum key,
+    /// or `u64::MAX` iff the shard is empty — maintained on every push,
+    /// pop and drain. Lets a drain worker skip a shard with nothing due
+    /// without taking its lock (`Relaxed` suffices: every cross-thread
+    /// handoff is bracketed by the pool barrier's lock).
+    head_time: Vec<AtomicU64>,
+    outs: Vec<Mutex<DrainOut>>,
+}
+
+impl ShardSlots {
+    /// Empty slots for `shards` shards drained by `workers` workers.
+    ///
+    /// # Panics
+    /// Panics if either count is zero.
+    pub fn new(shards: usize, workers: usize) -> Self {
+        assert!(shards > 0, "ShardSlots: need at least one shard");
+        assert!(workers > 0, "ShardSlots: need at least one worker");
+        assert!(
+            shards <= u32::MAX as usize,
+            "ShardSlots: shard count overflows u32"
+        );
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(BinaryHeap::new())).collect(),
+            head_time: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            outs: (0..workers)
+                .map(|_| Mutex::new(DrainOut::default()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Worker `w`'s half of a drain round: pop every key `< cutoff`
+    /// from the worker's static contiguous shard block into its output
+    /// slot. Run by every pool worker under one broadcast; the blocks
+    /// partition the shards, so each shard is drained exactly once.
+    pub fn drain_worker(&self, w: usize, cutoff: EventKey) {
+        let (n, wk) = (self.shards.len(), self.outs.len());
+        let mut out = relock(self.outs[w].lock());
+        debug_assert!(out.keys.is_empty() && out.touched.is_empty());
+        for s in w * n / wk..(w + 1) * n / wk {
+            // `head_time` is exact, so a strictly-later head has
+            // nothing due; an equal-time head still gets checked
+            // against the full key under the lock.
+            if self.head_time[s].load(Ordering::Relaxed) > cutoff.0 {
+                continue;
+            }
+            let mut heap = relock(self.shards[s].lock());
+            let before = out.keys.len();
+            while let Some(&Reverse(key)) = heap.peek() {
+                if key >= cutoff {
+                    break;
+                }
+                heap.pop();
+                out.keys.push(key);
+            }
+            if out.keys.len() > before {
+                self.head_time[s].store(
+                    heap.peek().map_or(u64::MAX, |&Reverse(k)| k.0),
+                    Ordering::Relaxed,
+                );
+                out.touched.push(s as u32);
+            }
+        }
+    }
+}
+
+/// The main-thread half of the parallel event queue (see module docs):
+/// the lazy tournament over shard heads, the event count, and the
+/// persistent worker pool drains are broadcast on. Exposes the same
+/// push/peek/pop surface as the sequential layouts — uncontended locks
+/// outside a drain — plus the batched [`ParallelQueue::drain_due`].
+pub(crate) struct ParallelQueue<'p> {
+    slots: &'p ShardSlots,
+    pool: BroadcastPool<EventKey>,
+    /// Tournament heap of `(time, priority, id, shard)` shard-head
+    /// candidates, lazily invalidated exactly like
+    /// [`ShardedEventQueue`](crate::shard::ShardedEventQueue)'s.
+    head: BinaryHeap<Reverse<(Millis, u8, u32, u32)>>,
+    len: usize,
+    /// Merge scratch, reused across drains.
+    merged: Vec<EventKey>,
+}
+
+impl<'p> ParallelQueue<'p> {
+    /// A queue over `slots`, draining on `pool` (whose workers must be
+    /// running `slots.drain_worker`).
+    pub fn new(slots: &'p ShardSlots, pool: BroadcastPool<EventKey>) -> Self {
+        Self {
+            slots,
+            pool,
+            head: BinaryHeap::new(),
+            len: 0,
+            merged: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.slots.num_shards()
+    }
+
+    /// Queues `key` on `shard`.
+    pub fn push(&mut self, key: EventKey, shard: usize) {
+        let mut heap = relock(self.slots.shards[shard].lock());
+        heap.push(Reverse(key));
+        let is_head = heap.peek() == Some(&Reverse(key));
+        drop(heap);
+        if is_head {
+            self.slots.head_time[shard].store(key.0, Ordering::Relaxed);
+            self.head.push(Reverse((key.0, key.1, key.2, shard as u32)));
+        }
+        self.len += 1;
+    }
+
+    /// The globally smallest queued key, discarding stale tournament
+    /// entries on the way.
+    pub fn peek(&mut self) -> Option<EventKey> {
+        while let Some(&Reverse((t, pri, id, s))) = self.head.peek() {
+            let heap = relock(self.slots.shards[s as usize].lock());
+            if heap.peek() == Some(&Reverse((t, pri, id))) {
+                return Some((t, pri, id));
+            }
+            drop(heap);
+            self.head.pop();
+        }
+        debug_assert_eq!(self.len, 0, "live events but an empty tournament");
+        None
+    }
+
+    /// Removes and returns the globally smallest queued key.
+    pub fn pop(&mut self) -> Option<EventKey> {
+        let key = self.peek()?;
+        // `peek` left a validated entry on top of the tournament.
+        let Some(Reverse((_, _, _, s))) = self.head.pop() else {
+            unreachable!("peek returned a key but the tournament is empty");
+        };
+        let mut heap = relock(self.slots.shards[s as usize].lock());
+        let popped = heap.pop();
+        debug_assert_eq!(popped, Some(Reverse(key)));
+        let new_head = heap.peek().map(|&Reverse(k)| k);
+        drop(heap);
+        self.slots.head_time[s as usize]
+            .store(new_head.map_or(u64::MAX, |k| k.0), Ordering::Relaxed);
+        if let Some((t, pri, id)) = new_head {
+            self.head.push(Reverse((t, pri, id, s)));
+        }
+        self.len -= 1;
+        Some(key)
+    }
+
+    /// Pops every key `< cutoff` and applies them in global key order:
+    /// the due prefixes of all shards are drained concurrently by the
+    /// worker pool, merged by sort (keys are globally unique, so the
+    /// sorted concatenation *is* the sequential pop order), and then
+    /// `apply` runs on the calling thread — the drain/apply split that
+    /// keeps results byte-identical for any worker count.
+    pub fn drain_due(&mut self, cutoff: EventKey, apply: &mut dyn FnMut(EventKey)) {
+        // Nothing due: skip the broadcast entirely (the common case —
+        // most inter-batch intervals see only a handful of events, and
+        // quiet ones none at all).
+        match self.peek() {
+            Some(k) if k < cutoff => {}
+            _ => return,
+        }
+        self.pool.run(cutoff);
+        let mut merged = std::mem::take(&mut self.merged);
+        debug_assert!(merged.is_empty());
+        for out in &self.slots.outs {
+            let mut o = relock(out.lock());
+            merged.append(&mut o.keys);
+            for &s in &o.touched {
+                // Restore the drained shard's tournament entry; the
+                // pre-drain entry (now stale) is lazily discarded by a
+                // later peek, like any superseded duplicate.
+                let heap = relock(self.slots.shards[s as usize].lock());
+                if let Some(&Reverse((t, pri, id))) = heap.peek() {
+                    self.head.push(Reverse((t, pri, id, s)));
+                }
+            }
+            o.touched.clear();
+        }
+        merged.sort_unstable();
+        debug_assert!(
+            !merged.is_empty(),
+            "peek saw a due key but no worker popped it"
+        );
+        self.len -= merged.len();
+        for &key in &merged {
+            apply(key);
+        }
+        merged.clear();
+        self.merged = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardedEventQueue;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// Runs `f` against a live `ParallelQueue` with real pool workers.
+    fn with_queue<R>(
+        shards: usize,
+        workers: usize,
+        f: impl FnOnce(&mut ParallelQueue<'_>) -> R,
+    ) -> R {
+        let slots = ShardSlots::new(shards, workers);
+        std::thread::scope(|scope| {
+            let pool = BroadcastPool::new(scope, workers, |w, cutoff| {
+                slots.drain_worker(w, cutoff);
+            });
+            let mut q = ParallelQueue::new(&slots, pool);
+            f(&mut q)
+        })
+    }
+
+    #[test]
+    fn empty_queue_peeks_and_pops_none() {
+        with_queue(4, 2, |q| {
+            assert_eq!(q.peek(), None);
+            assert_eq!(q.pop(), None);
+            assert_eq!(q.num_shards(), 4);
+            // A drain on an empty queue is a no-op (and no broadcast).
+            q.drain_due((u64::MAX, u8::MAX, u32::MAX), &mut |_| {
+                panic!("applied an event from an empty queue")
+            });
+        });
+    }
+
+    #[test]
+    fn drains_apply_in_global_key_order() {
+        // Keys interleave across shards and workers: shard 0 holds
+        // times {0,2,4,...}, shard 1 {1,3,5,...}, and the two shards
+        // land on different workers — the merge must interleave them
+        // back into strict time order.
+        with_queue(2, 2, |q| {
+            for t in 0..20u64 {
+                q.push((t, 0, t as u32), (t % 2) as usize);
+            }
+            let mut seen = Vec::new();
+            q.drain_due((10, 0, 0), &mut |k| seen.push(k));
+            assert_eq!(
+                seen,
+                (0..10u64).map(|t| (t, 0, t as u32)).collect::<Vec<_>>()
+            );
+            // The remainder is still there, in order, via plain pops.
+            for t in 10..20u64 {
+                assert_eq!(q.pop(), Some((t, 0, t as u32)));
+            }
+            assert_eq!(q.pop(), None);
+        });
+    }
+
+    #[test]
+    fn drain_cutoff_is_exclusive_and_priority_aware() {
+        with_queue(3, 3, |q| {
+            q.push((5, 0, 1), 0); // dropoff at the cutoff time: due
+            q.push((5, 2, 2), 1); // deadline at the cutoff time: not due
+            q.push((4, 2, 3), 2); // deadline strictly before: due
+            let mut seen = Vec::new();
+            q.drain_due((5, 2, 0), &mut |k| seen.push(k));
+            assert_eq!(seen, vec![(4, 2, 3), (5, 0, 1)]);
+            assert_eq!(q.pop(), Some((5, 2, 2)));
+        });
+    }
+
+    #[test]
+    fn every_shard_is_drained_exactly_once_for_any_worker_count() {
+        // More workers than shards, fewer, equal, and one: the static
+        // block partition must cover every shard exactly once.
+        for (shards, workers) in [(1, 1), (5, 2), (4, 4), (3, 8), (7, 3)] {
+            with_queue(shards, workers, |q| {
+                for s in 0..shards {
+                    q.push((s as u64, 0, s as u32), s);
+                }
+                let mut seen = Vec::new();
+                q.drain_due((u64::MAX, 0, 0), &mut |k| seen.push(k));
+                assert_eq!(
+                    seen,
+                    (0..shards)
+                        .map(|s| (s as u64, 0, s as u32))
+                        .collect::<Vec<_>>(),
+                    "shards={shards} workers={workers}"
+                );
+                assert_eq!(q.pop(), None);
+            });
+        }
+    }
+
+    proptest! {
+        /// The tentpole equivalence at the queue level: under random
+        /// interleavings of pushes, pops and drains, the parallel queue
+        /// applies exactly the sequence a single global heap would pop,
+        /// for any shard count, worker count and shard assignment.
+        #[test]
+        fn matches_single_heap_under_random_ops(
+            seed in 0u64..30,
+            shards in 1usize..7,
+            workers in 1usize..5,
+            n_ops in 1usize..120,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD3A1);
+            with_queue(shards, workers, |q| {
+                let mut model = ShardedEventQueue::new(1);
+                let mut next_id = 0u32;
+                for _ in 0..n_ops {
+                    match rng.gen_range(0u32..4) {
+                        0 | 1 => {
+                            let key = (rng.gen_range(0u64..40), rng.gen_range(0u8..3), next_id);
+                            next_id += 1;
+                            model.push(key, 0);
+                            q.push(key, rng.gen_range(0..shards));
+                        }
+                        2 => {
+                            prop_assert_eq!(q.peek(), model.peek());
+                            prop_assert_eq!(q.pop(), model.pop());
+                        }
+                        _ => {
+                            let cutoff =
+                                (rng.gen_range(0u64..45), rng.gen_range(0u8..3), 0u32);
+                            let mut got = Vec::new();
+                            q.drain_due(cutoff, &mut |k| got.push(k));
+                            let mut want = Vec::new();
+                            while model.peek().is_some_and(|k| k < cutoff) {
+                                want.push(model.pop().expect("peeked"));
+                            }
+                            prop_assert_eq!(got, want);
+                        }
+                    }
+                }
+                while let Some(k) = q.pop() {
+                    prop_assert_eq!(Some(k), model.pop());
+                }
+                prop_assert!(model.peek().is_none());
+            });
+        }
+    }
+}

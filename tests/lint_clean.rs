@@ -29,6 +29,56 @@ fn workspace_is_lint_clean() {
     );
 }
 
+/// The engine crate — including the new parallel drain module — stays
+/// determinism-lint-clean with a *pinned* suppression set: the two
+/// long-standing D002 pragmas on the engine's and reference loop's
+/// batch wall-clock timers,
+/// nothing from `lint.toml`, and nothing at all in `parallel.rs`
+/// (worker scheduling is timing-dependent, but results must not be —
+/// the merge sorts popped keys back into the deterministic order, so
+/// the module needs no nondeterminism waivers).
+#[test]
+fn sim_crate_suppression_set_is_pinned() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = mrvd_lint::run_workspace(root).expect("scan the workspace");
+    let sim: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.path.starts_with("crates/sim/src/"))
+        .collect();
+    let unsuppressed: Vec<_> = sim.iter().filter(|f| f.suppressed.is_none()).collect();
+    assert!(
+        unsuppressed.is_empty(),
+        "unsuppressed finding(s) in crates/sim/src/: {:?}",
+        unsuppressed
+    );
+    let suppressed: Vec<(String, String)> = sim
+        .iter()
+        .filter(|f| f.suppressed.is_some())
+        .map(|f| (f.path.clone(), f.rule.clone()))
+        .collect();
+    assert_eq!(
+        suppressed,
+        vec![
+            ("crates/sim/src/engine.rs".to_string(), "D002".to_string()),
+            (
+                "crates/sim/src/reference.rs".to_string(),
+                "D002".to_string()
+            ),
+        ],
+        "the sim crate's suppression set changed — new waivers need review"
+    );
+    assert!(
+        sim.iter()
+            .all(|f| !matches!(&f.suppressed, Some(mrvd_lint::Suppression::Config { .. }))),
+        "crates/sim must not be suppressed via lint.toml"
+    );
+    assert!(
+        !sim.iter().any(|f| f.path.ends_with("parallel.rs")),
+        "parallel.rs must stay pragma-free and finding-free"
+    );
+}
+
 #[test]
 fn every_suppression_carries_a_reason() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));

@@ -1,0 +1,214 @@
+//! Property-based parallel-drain equivalence: the engine's parallel
+//! shard execution (`SimConfig::workers > 1` — per-shard event heaps
+//! drained by a persistent worker pool between batch barriers, popped
+//! keys merged back into global key order before any state transition
+//! is applied) must reproduce the sequential run (`workers = 1`)
+//! bit-for-bit on random small worlds, for any shard layout and worker
+//! count — including every engine counter, the exact renege event
+//! times, and worlds dense enough that same-timestamp event keys
+//! interleave across shards inside one drain.
+//!
+//! A mid-run worker-count change is impossible by construction
+//! (`SimConfig` is fixed per run, and the pool itself rejects
+//! overlapping rounds — pinned by `mrvd-stats`' broadcast tests); what
+//! must work is changing the worker count *between* runs over the same
+//! world, which the continuation test pins as byte-identical both ways.
+
+use mrvd::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const DELTA_MS: u64 = 3_000;
+const HORIZON_MS: u64 = 3_600_000;
+
+/// A random world drawn from one seed: trips sorted by request time
+/// inside the horizon, a driver pool, and a Δ-aligned supply schedule
+/// (same idiom as `tests/engine_equivalence.rs`, denser on trips so
+/// drains regularly carry several due events at once).
+fn random_world(seed: u64) -> (Vec<TripRecord>, Vec<Point>, DriverSchedule) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9A7A);
+    let n_trips = rng.gen_range(0usize..70);
+    let mut requests: Vec<u64> = (0..n_trips).map(|_| rng.gen_range(0..HORIZON_MS)).collect();
+    requests.sort_unstable();
+    let pt =
+        |rng: &mut StdRng| Point::new(rng.gen_range(-74.02..-73.80), rng.gen_range(40.60..40.90));
+    let trips: Vec<TripRecord> = requests
+        .into_iter()
+        .enumerate()
+        .map(|(i, request_ms)| TripRecord {
+            id: i as u64,
+            request_ms,
+            pickup: pt(&mut rng),
+            dropoff: pt(&mut rng),
+        })
+        .collect();
+    let pool: Vec<Point> = (0..rng.gen_range(0usize..12))
+        .map(|_| pt(&mut rng))
+        .collect();
+    let n_phases = rng.gen_range(1usize..4);
+    let mut phases = vec![(0u64, rng.gen_range(0..=pool.len()))];
+    for _ in 1..n_phases {
+        let from = rng.gen_range(1..HORIZON_MS / DELTA_MS) * DELTA_MS;
+        if phases.iter().all(|&(f, _)| f != from) {
+            phases.push((from, rng.gen_range(0..=pool.len())));
+        }
+    }
+    phases.sort_unstable();
+    (trips, pool, DriverSchedule::new(phases))
+}
+
+/// Everything that must match bit-for-bit across worker counts: the
+/// quality outputs (exact renege records included — all engine layouts
+/// charge reneges at true deadlines) *and* the engine counters, which
+/// the key-order merge makes deterministic too.
+type Digest = (
+    (usize, usize, usize, u64, usize),
+    Vec<(u32, u32, u64, u64, u64, u64)>,
+    Vec<(u32, u64, u64)>,
+    (usize, usize, usize, usize, usize, usize, usize),
+);
+
+fn digest(r: &SimResult) -> Digest {
+    (
+        (
+            r.served,
+            r.reneged,
+            r.still_waiting,
+            r.total_revenue.to_bits(),
+            r.batches,
+        ),
+        r.assignments
+            .iter()
+            .map(|a| {
+                (
+                    a.rider.0,
+                    a.driver.0,
+                    a.batch_ms,
+                    a.pickup_ms,
+                    a.dropoff_ms,
+                    a.revenue.to_bits(),
+                )
+            })
+            .collect(),
+        r.reneges
+            .iter()
+            .map(|x| (x.rider.0, x.request_ms, x.renege_ms))
+            .collect(),
+        (
+            r.ticks_executed,
+            r.events_processed,
+            r.views_ops,
+            r.views_entries_dirtied,
+            r.counts_ops,
+            r.index_ops,
+            r.views_rebuilds_avoided,
+        ),
+    )
+}
+
+/// Runs one world under NEAR with the given shard/worker layout.
+fn run_with(
+    world: &(Vec<TripRecord>, Vec<Point>, DriverSchedule),
+    seed: u64,
+    event_shards: usize,
+    workers: usize,
+) -> SimResult {
+    let (trips, pool, schedule) = world;
+    let grid = Grid::nyc_16x16();
+    let travel = ConstantSpeedModel::default();
+    let config = SimConfig {
+        batch_interval_ms: DELTA_MS,
+        horizon_ms: HORIZON_MS,
+        seed,
+        event_shards,
+        workers,
+        ..SimConfig::default()
+    };
+    let sim = Simulator::new(config, &travel, &grid);
+    let mut policy = Near::default();
+    sim.run_scheduled(trips, pool, schedule, &mut policy)
+}
+
+proptest! {
+    /// The tentpole pin: for random worlds × random shard layouts ×
+    /// random worker counts, the parallel drain is bit-identical to the
+    /// sequential run — outputs and counters alike.
+    #[test]
+    fn parallel_matches_sequential_on_random_worlds(
+        seed in 0u64..40,
+        shards in 0usize..6,
+        workers in 2usize..9,
+    ) {
+        let world = random_world(seed);
+        let sequential = run_with(&world, seed, shards, 1);
+        let parallel = run_with(&world, seed, shards, workers);
+        prop_assert_eq!(
+            digest(&sequential),
+            digest(&parallel),
+            "seed {} shards {} workers {} diverged",
+            seed,
+            shards,
+            workers
+        );
+    }
+}
+
+/// Interleaved-key coverage: bursts of same-timestamp requests from
+/// scattered pickup points put same-time deadline keys (and the dropoff
+/// keys of whatever gets served) into *different* shards, so one drain
+/// round pops from several shards and the barrier merge must
+/// reconstruct the global `(time, priority, id)` order — ids are the
+/// only tiebreak. Forced small fleet keeps plenty of reneges in play.
+#[test]
+fn interleaved_same_time_keys_across_shards_stay_ordered() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let pt =
+        |rng: &mut StdRng| Point::new(rng.gen_range(-74.02..-73.80), rng.gen_range(40.60..40.90));
+    let mut trips = Vec::new();
+    for burst in 0..12u64 {
+        let request_ms = burst * 240_000; // a burst every 4 minutes
+        for _ in 0..8 {
+            trips.push(TripRecord {
+                id: trips.len() as u64,
+                request_ms,
+                pickup: pt(&mut rng),
+                dropoff: pt(&mut rng),
+            });
+        }
+    }
+    let pool: Vec<Point> = (0..3).map(|_| pt(&mut rng)).collect();
+    let world = (trips, pool, DriverSchedule::constant(3));
+    for shards in [2, 4, 7] {
+        let sequential = run_with(&world, 7, shards, 1);
+        assert!(
+            sequential.reneged > 0 && sequential.served > 0,
+            "burst world must exercise both deadline and dropoff keys"
+        );
+        for workers in [2, 3, 8] {
+            let parallel = run_with(&world, 7, shards, workers);
+            assert_eq!(
+                digest(&sequential),
+                digest(&parallel),
+                "shards {shards} workers {workers} diverged on the burst world"
+            );
+        }
+    }
+}
+
+/// Changing the worker count *between* runs continues cleanly: the same
+/// world run at workers 2 → 8 → 2 produces three byte-identical
+/// results, and the final run matches the first exactly (each run owns
+/// its pool — nothing leaks across runs). The mid-run change case
+/// cannot arise: `SimConfig` is immutable per run and the broadcast
+/// pool rejects overlapping rounds (pinned in `mrvd-stats`).
+#[test]
+fn worker_count_change_between_runs_continues_cleanly() {
+    let world = random_world(11);
+    let first = run_with(&world, 11, 0, 2);
+    let second = run_with(&world, 11, 0, 8);
+    let third = run_with(&world, 11, 0, 2);
+    assert_eq!(digest(&first), digest(&second), "workers 2 vs 8 diverged");
+    assert_eq!(digest(&second), digest(&third), "workers 8 vs 2 diverged");
+    assert_eq!(digest(&first), digest(&run_with(&world, 11, 0, 1)));
+}
