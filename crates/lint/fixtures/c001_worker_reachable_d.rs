@@ -1,0 +1,22 @@
+//! C001 fixture: flat D violations escalate inside the worker-reachable
+//! set (and only there).
+
+pub fn drain_worker_root(n: u64) -> u64 {
+    helper(n) + waived(n)
+}
+
+fn helper(n: u64) -> u64 {
+    let t = std::time::Instant::now();
+    n + t.elapsed().as_nanos() as u64
+}
+
+fn bystander() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+fn waived(n: u64) -> u64 {
+    // lint:allow(C001, D002): fixture waiver — demonstrates a reasoned suppression
+    let t = std::time::Instant::now();
+    n + t.elapsed().as_nanos() as u64
+}

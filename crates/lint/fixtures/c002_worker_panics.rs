@@ -1,0 +1,22 @@
+//! C002 fixture: panic-capable operations in worker-reachable code —
+//! unwrap/expect, panic-family macros, slice indexing, narrowing casts.
+
+pub fn drain_worker_root(v: &[u32], w: usize) -> u32 {
+    step(v, w)
+}
+
+fn step(v: &[u32], w: usize) -> u32 {
+    let first = *v.first().unwrap();
+    let second = v[w];
+    let small = second as u8;
+    if w > v.len() {
+        panic!("worker block out of range");
+    }
+    // lint:allow(C002): index 0 exists — the caller rejects empty slices
+    let third = v[0];
+    first + second + u32::from(small) + third
+}
+
+fn bystander(v: &[u32]) -> u32 {
+    v[0] + v.last().expect("nonempty")
+}

@@ -1,0 +1,31 @@
+//! C003 fixture: non-Sync interior mutability and mutable statics in a
+//! file with worker-reachable functions.
+
+use std::cell::RefCell;
+
+static mut DRAIN_COUNT: u64 = 0;
+
+thread_local! {
+    static SCRATCH: Vec<u32> = Vec::new();
+}
+
+pub fn drain_worker_root() -> u32 {
+    tally() + waived()
+}
+
+fn tally() -> u32 {
+    let c = RefCell::new(0u32);
+    *c.borrow_mut() += 1;
+    c.into_inner()
+}
+
+fn bystander() -> u32 {
+    let c = RefCell::new(7u32);
+    c.into_inner()
+}
+
+fn waived() -> u32 {
+    // lint:allow(C003): fixture waiver — single-threaded scratch, never crosses the pool
+    let c = RefCell::new(1u32);
+    c.into_inner()
+}

@@ -1,0 +1,31 @@
+//! C004 fixture: atomic operations whose `Ordering` is not explicit at
+//! the call site.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn drain_worker_root(head: &AtomicU64) -> u64 {
+    let seen = head.load(Ordering::Relaxed);
+    bump(head, Ordering::Relaxed);
+    observe(head) + waived(head) + seen
+}
+
+fn bump(head: &AtomicU64, ord: Ordering) {
+    head.fetch_add(1, ord);
+}
+
+fn observe(head: &AtomicU64) -> u64 {
+    head.load(relaxed())
+}
+
+fn relaxed() -> Ordering {
+    Ordering::Relaxed
+}
+
+fn waived(head: &AtomicU64) -> u64 {
+    // lint:allow(C004): fixture waiver — ordering chosen by the caller, always a constant
+    head.load(relaxed())
+}
+
+fn not_an_atomic(q: &Queue) -> u64 {
+    q.load(relaxed())
+}

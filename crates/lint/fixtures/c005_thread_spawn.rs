@@ -1,0 +1,18 @@
+//! C005 fixture: thread spawns outside the sanctioned pool module.
+
+pub fn drain_worker_root() {
+    launch();
+}
+
+fn launch() {
+    std::thread::spawn(|| {});
+}
+
+fn scoped(scope: &Scope) {
+    scope.spawn(|| {});
+}
+
+fn waived() {
+    // lint:allow(C005): fixture waiver — demonstrates a reasoned suppression
+    std::thread::spawn(|| {});
+}

@@ -16,3 +16,19 @@ fn good_max(xs: &[(f64, u32)]) -> Option<&(f64, u32)> {
     xs.iter()
         .max_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)))
 }
+
+fn bad_key_sort(edges: &mut Vec<(f64, u32)>) {
+    edges.sort_by_key(|e| e.0.to_bits());
+}
+
+fn bad_key_min(xs: &[(f64, u32)]) -> Option<&(f64, u32)> {
+    xs.iter().min_by_key(|e| (e.1 as f64).to_bits() as u64)
+}
+
+fn good_key_sort(edges: &mut Vec<(f64, u32)>) {
+    edges.sort_by_key(|e| (e.0.to_bits(), e.1));
+}
+
+fn good_key_int(edges: &mut Vec<(u32, u32)>) {
+    edges.sort_by_key(|e| e.0);
+}

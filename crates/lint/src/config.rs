@@ -1,21 +1,31 @@
-//! The checked-in `lint.toml` path allowlist.
+//! The checked-in `lint.toml`: path allowlist plus parallel roots.
 //!
-//! A tiny, dependency-free parser for exactly the shape the allowlist
-//! uses — `#` comments and repeated `[[allow]]` tables of string keys:
+//! A tiny, dependency-free parser for exactly the shapes the file uses —
+//! `#` comments, repeated `[[allow]]` tables of string keys, and one
+//! `[roots]` section with repeated `fn` / `spawn_path` keys:
 //!
 //! ```toml
 //! [[allow]]
 //! path = "crates/experiments"
 //! rule = "D002"
 //! reason = "subcommand timing tables; never feeds simulation state"
+//!
+//! [roots]
+//! fn = "ShardSlots::drain_worker"
+//! spawn_path = "crates/stats/src/parallel.rs"
 //! ```
 //!
 //! `path` is a workspace-relative prefix (forward slashes); `rule` is one
 //! of the determinism rule ids; `reason` is mandatory and non-empty.
 //! Entries that match no finding are reported as unused — the allowlist
-//! must shrink when the code it excuses is fixed.
+//! must shrink when the code it excuses is fixed. C rules cannot appear
+//! in `[[allow]]` at all: worker-reachable findings are only waivable by
+//! an inline pragma at the exact site. Each `[roots]` `fn` names a
+//! parallel entry point (`Type::method` or a bare fn name) whose
+//! transitive callees the C rules audit; `spawn_path` marks the file(s)
+//! allowed to call `thread::spawn`/`scope.spawn` (C005).
 
-use crate::rules::is_known_rule;
+use crate::rules::{is_known_rule, is_reach_rule};
 
 /// One `[[allow]]` entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,11 +47,24 @@ impl Allow {
     }
 }
 
+/// One `[roots]` `fn = "…"` entry: a declared parallel entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootSpec {
+    /// `Type::method` or bare fn name to match against the call graph.
+    pub name: String,
+    /// Line of the entry, for P005 messages.
+    pub line: u32,
+}
+
 /// Parsed allowlist.
 #[derive(Debug, Default)]
 pub struct Config {
     /// All `[[allow]]` entries, in file order.
     pub allows: Vec<Allow>,
+    /// Declared parallel roots, in file order.
+    pub roots: Vec<RootSpec>,
+    /// Path prefixes where `thread::spawn` is sanctioned (C005).
+    pub spawn_ok: Vec<String>,
 }
 
 /// Parses `lint.toml` text. Returns the config plus any validation
@@ -51,6 +74,7 @@ pub fn parse(text: &str) -> (Config, Vec<String>) {
     let mut cfg = Config::default();
     let mut errors = Vec::new();
     let mut current: Option<(Allow, u32)> = None;
+    let mut in_roots = false;
 
     let finish = |entry: Option<(Allow, u32)>, errors: &mut Vec<String>| {
         let (a, line) = entry?;
@@ -64,6 +88,12 @@ pub fn parse(text: &str) -> (Config, Vec<String>) {
             ));
         } else if !is_known_rule(&a.rule) {
             errors.push(format!("lint.toml:{line}: unknown rule `{}`", a.rule));
+        } else if is_reach_rule(&a.rule) {
+            errors.push(format!(
+                "lint.toml:{line}: rule `{}` is a worker-reachability rule and cannot be \
+                 path-allowlisted — suppress it with an inline pragma at the site",
+                a.rule
+            ));
         } else if a.reason.trim().is_empty() {
             errors.push(format!(
                 "lint.toml:{line}: [[allow]] for `{}` has no `reason` — every \
@@ -86,6 +116,7 @@ pub fn parse(text: &str) -> (Config, Vec<String>) {
             if let Some(a) = finish(current.take(), &mut errors) {
                 cfg.allows.push(a);
             }
+            in_roots = false;
             current = Some((
                 Allow {
                     path: String::new(),
@@ -95,6 +126,13 @@ pub fn parse(text: &str) -> (Config, Vec<String>) {
                 },
                 lineno,
             ));
+            continue;
+        }
+        if line == "[roots]" {
+            if let Some(a) = finish(current.take(), &mut errors) {
+                cfg.allows.push(a);
+            }
+            in_roots = true;
             continue;
         }
         let Some((key, value)) = line.split_once('=') else {
@@ -109,6 +147,22 @@ pub fn parse(text: &str) -> (Config, Vec<String>) {
             ));
             continue;
         };
+        if in_roots {
+            match key {
+                "fn" if value.trim().is_empty() => {
+                    errors.push(format!("lint.toml:{lineno}: empty `fn` root"));
+                }
+                "fn" => cfg.roots.push(RootSpec {
+                    name: value.to_string(),
+                    line: lineno,
+                }),
+                "spawn_path" => cfg.spawn_ok.push(value.replace('\\', "/")),
+                other => errors.push(format!(
+                    "lint.toml:{lineno}: unknown key `{other}` in [roots]"
+                )),
+            }
+            continue;
+        }
         let Some((entry, _)) = current.as_mut() else {
             errors.push(format!(
                 "lint.toml:{lineno}: `{key}` outside an [[allow]] table"
@@ -163,5 +217,32 @@ mod tests {
     fn unquoted_value_is_an_error() {
         let (_, errs) = parse("[[allow]]\npath = x\nrule = \"D001\"\nreason = \"r\"\n");
         assert!(!errs.is_empty());
+    }
+
+    #[test]
+    fn roots_section_parses_fns_and_spawn_paths() {
+        let (cfg, errs) = parse(
+            "[roots]\nfn = \"ShardSlots::drain_worker\"\nfn = \"BroadcastPool::run\"\nspawn_path = \"crates/stats/src/parallel.rs\"\n\n[[allow]]\npath = \"x\"\nrule = \"D002\"\nreason = \"r\"\n",
+        );
+        assert!(errs.is_empty(), "{errs:?}");
+        assert_eq!(cfg.roots.len(), 2);
+        assert_eq!(cfg.roots[0].name, "ShardSlots::drain_worker");
+        assert_eq!(cfg.spawn_ok, vec!["crates/stats/src/parallel.rs"]);
+        assert_eq!(cfg.allows.len(), 1);
+    }
+
+    #[test]
+    fn c_rules_cannot_be_path_allowlisted() {
+        let (cfg, errs) = parse("[[allow]]\npath = \"x\"\nrule = \"C002\"\nreason = \"r\"\n");
+        assert!(cfg.allows.is_empty());
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("inline pragma"), "{errs:?}");
+    }
+
+    #[test]
+    fn unknown_roots_key_and_empty_fn_are_errors() {
+        let (cfg, errs) = parse("[roots]\nfn = \"\"\nwhatever = \"x\"\n");
+        assert!(cfg.roots.is_empty());
+        assert_eq!(errs.len(), 2, "{errs:?}");
     }
 }

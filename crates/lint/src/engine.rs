@@ -1,14 +1,19 @@
-//! Orchestration: walk the workspace, run the rules, apply suppressions,
-//! audit the suppressions themselves.
+//! Orchestration: walk the workspace, run the flat rules, build the call
+//! graph, close over the declared parallel roots, run the reachability
+//! rules, apply suppressions, audit the suppressions themselves.
 
 use std::fs;
 use std::path::Path;
 
+use crate::callgraph::{CallGraph, FileInput};
 use crate::config::{self, Config};
-use crate::lexer::lex;
+use crate::crules::{self, CRuleCtx, FnSpan};
+use crate::lexer::{lex, Lexed};
+use crate::parser::parse_file;
 use crate::pragma::{parse_pragmas, Pragma};
+use crate::reach;
 use crate::report::{Finding, Report, Suppression};
-use crate::rules::{check_all, detect_test_spans, FileCtx};
+use crate::rules::{check_all, detect_test_spans, is_reach_rule, FileCtx};
 use crate::walk::{is_test_path, rust_files};
 
 /// Analysis of a single source text, before config-level suppression.
@@ -20,9 +25,22 @@ pub struct FileAnalysis {
     pub pragmas: Vec<Pragma>,
 }
 
-/// Lexes and rule-checks one source text. `rel_path` decides path-scoped
-/// rules (D005) and path-level test exemption; pass a `tests/`-free path
-/// to treat fixture text as production code.
+/// The full result of a workspace scan: the findings report plus the
+/// call-graph artifact behind the C rules.
+#[derive(Debug)]
+pub struct Scan {
+    /// Findings, suppressions, counts.
+    pub report: Report,
+    /// `LINT_callgraph.json` content: nodes, edges, the worker-reachable
+    /// set with chains, and unresolved-call accounting.
+    pub callgraph_json: String,
+}
+
+/// Lexes and rule-checks one source text with the flat (D) rules only.
+/// `rel_path` decides path-scoped rules (D005) and path-level test
+/// exemption; pass a `tests/`-free path to treat fixture text as
+/// production code. Reachability rules need a whole workspace — see
+/// [`scan_sources`].
 pub fn analyze_source(rel_path: &str, source: &str) -> FileAnalysis {
     let lexed = lex(source);
     let test_spans = detect_test_spans(&lexed);
@@ -40,6 +58,7 @@ pub fn analyze_source(rel_path: &str, source: &str) -> FileAnalysis {
             line: raw.line,
             message: raw.message,
             suppressed: None,
+            chain: vec![],
         })
         .collect();
     FileAnalysis {
@@ -50,16 +69,20 @@ pub fn analyze_source(rel_path: &str, source: &str) -> FileAnalysis {
 
 /// Resolves suppressions for one file's findings in place. Returns, per
 /// pragma, whether it suppressed at least one finding; config usage is
-/// tracked in `config_used` (parallel to `config.allows`).
-pub fn apply_suppressions(
-    analysis: &mut FileAnalysis,
+/// tracked in `config_used` (parallel to `config.allows`). C findings
+/// are never config-suppressible — only a pragma at the site counts
+/// (the config parser rejects C rules in `[[allow]]`, this is the
+/// engine-side backstop).
+pub fn resolve_suppressions(
+    findings: &mut [Finding],
+    pragmas: &[Pragma],
     config: &Config,
     config_used: &mut [bool],
 ) -> Vec<bool> {
-    let mut pragma_used = vec![false; analysis.pragmas.len()];
-    for f in &mut analysis.findings {
+    let mut pragma_used = vec![false; pragmas.len()];
+    for f in findings.iter_mut() {
         // Pragmas win over the allowlist: they are closer to the code.
-        for (pi, p) in analysis.pragmas.iter().enumerate() {
+        for (pi, p) in pragmas.iter().enumerate() {
             if p.error.is_none()
                 && p.target_line == Some(f.line)
                 && p.rules.iter().any(|r| r == &f.rule)
@@ -71,7 +94,7 @@ pub fn apply_suppressions(
                 break;
             }
         }
-        if f.suppressed.is_some() {
+        if f.suppressed.is_some() || is_reach_rule(&f.rule) {
             continue;
         }
         for (ai, a) in config.allows.iter().enumerate() {
@@ -88,46 +111,179 @@ pub fn apply_suppressions(
     pragma_used
 }
 
-/// Runs the full scan over a workspace root. `lint.toml` at the root is
-/// the (optional) allowlist.
-pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
-    let (config, config_errors) = match fs::read_to_string(root.join("lint.toml")) {
-        Ok(text) => config::parse(&text),
-        Err(_) => (Config::default(), Vec::new()),
-    };
-    let mut report = Report {
-        root: root.display().to_string(),
-        files_scanned: 0,
-        findings: Vec::new(),
-    };
-    for err in config_errors {
-        report.findings.push(Finding {
-            rule: "P004".into(),
-            path: "lint.toml".into(),
-            line: 0,
-            message: err,
-            suppressed: None,
+/// Back-compat wrapper over [`resolve_suppressions`] for a
+/// [`FileAnalysis`].
+pub fn apply_suppressions(
+    analysis: &mut FileAnalysis,
+    config: &Config,
+    config_used: &mut [bool],
+) -> Vec<bool> {
+    resolve_suppressions(
+        &mut analysis.findings,
+        &analysis.pragmas,
+        config,
+        config_used,
+    )
+}
+
+/// Per-file state carried between the two scan passes.
+struct FileScan {
+    rel: String,
+    lexed: Lexed,
+    test_spans: Vec<(u32, u32)>,
+    is_test_path: bool,
+    items: crate::items::FileItems,
+    pragmas: Vec<Pragma>,
+    findings: Vec<Finding>,
+}
+
+/// Runs the full two-pass scan over in-memory `(rel_path, source)`
+/// pairs: pass one lexes, parses and runs the flat rules per file; then
+/// the workspace call graph is built, the closure of `config.roots`
+/// computed, and the C rules run over each file's fn spans.
+pub fn scan_sources(root_display: &str, files: &[(String, String)], config: &Config) -> Scan {
+    // Pass one: per-file lexing, parsing, flat rules.
+    let mut scans: Vec<FileScan> = files
+        .iter()
+        .map(|(rel, source)| {
+            let lexed = lex(source);
+            let test_spans = detect_test_spans(&lexed);
+            let is_test = is_test_path(rel);
+            let ctx = FileCtx {
+                rel_path: rel,
+                lexed: &lexed,
+                test_spans: &test_spans,
+                is_test_path: is_test,
+            };
+            let findings = check_all(&ctx)
+                .into_iter()
+                .map(|raw| Finding {
+                    rule: raw.rule.to_string(),
+                    path: rel.clone(),
+                    line: raw.line,
+                    message: raw.message,
+                    suppressed: None,
+                    chain: vec![],
+                })
+                .collect();
+            let pragmas = parse_pragmas(&lexed);
+            let items = parse_file(&lexed);
+            FileScan {
+                rel: rel.clone(),
+                lexed,
+                test_spans,
+                is_test_path: is_test,
+                items,
+                pragmas,
+                findings,
+            }
+        })
+        .collect();
+
+    // Pass two: call graph, roots, closure, C rules.
+    let inputs: Vec<FileInput<'_>> = scans
+        .iter()
+        .map(|s| FileInput {
+            rel: &s.rel,
+            items: &s.items,
+            test_spans: &s.test_spans,
+            is_test_path: s.is_test_path,
+        })
+        .collect();
+    let graph = CallGraph::build(&inputs);
+    let mut root_ids: Vec<usize> = Vec::new();
+    let mut root_findings: Vec<Finding> = Vec::new();
+    for spec in &config.roots {
+        let matched = graph.match_roots(&spec.name);
+        if matched.is_empty() {
+            root_findings.push(Finding {
+                rule: "P005".into(),
+                path: "lint.toml".into(),
+                line: spec.line,
+                message: format!(
+                    "[roots] fn `{}` matches no function in the workspace — fix the name \
+                     or remove the root",
+                    spec.name
+                ),
+                suppressed: None,
+                chain: vec![],
+            });
+        }
+        for id in matched {
+            if !root_ids.contains(&id) {
+                root_ids.push(id);
+            }
+        }
+    }
+    let reach = reach::closure(graph.nodes.len(), &graph.adjacency(), &root_ids);
+    let root_display_names: Vec<String> = config.roots.iter().map(|r| r.name.clone()).collect();
+    let callgraph_json = graph.render_json(&reach, &root_ids, &root_display_names.join(", "));
+
+    // Per-file fn spans with reachability + chains, then the C rules.
+    let mut fn_spans: Vec<Vec<FnSpan>> = vec![Vec::new(); scans.len()];
+    for (id, node) in graph.nodes.iter().enumerate() {
+        let chain = if reach.is_reachable(id) {
+            reach
+                .chain_to(id)
+                .into_iter()
+                .map(|v| graph.nodes[v].name.clone())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        fn_spans[node.file].push(FnSpan {
+            line: node.line,
+            end_line: node.end_line,
+            reachable: reach.is_reachable(id),
+            chain,
         });
     }
+    for (s, spans) in scans.iter_mut().zip(&fn_spans) {
+        let ctx = CRuleCtx {
+            rel_path: &s.rel,
+            lexed: &s.lexed,
+            test_spans: &s.test_spans,
+            is_test_path: s.is_test_path,
+            fn_spans: spans,
+            has_roots: !root_ids.is_empty(),
+            spawn_ok: &config.spawn_ok,
+        };
+        for c in crules::check_file(&ctx) {
+            s.findings.push(Finding {
+                rule: c.rule.to_string(),
+                path: s.rel.clone(),
+                line: c.line,
+                message: c.message,
+                suppressed: None,
+                chain: c.chain,
+            });
+        }
+    }
+
+    // Suppression resolution + pragma/allowlist audits.
+    let mut report = Report {
+        root: root_display.to_string(),
+        files_scanned: scans.len(),
+        findings: root_findings,
+    };
     let mut config_used = vec![false; config.allows.len()];
-    for rel in rust_files(root)? {
-        let source = fs::read_to_string(root.join(&rel))?;
-        report.files_scanned += 1;
-        let mut analysis = analyze_source(&rel, &source);
-        let pragma_used = apply_suppressions(&mut analysis, &config, &mut config_used);
-        for (pi, p) in analysis.pragmas.iter().enumerate() {
+    for s in &mut scans {
+        let pragma_used =
+            resolve_suppressions(&mut s.findings, &s.pragmas, config, &mut config_used);
+        for (pi, p) in s.pragmas.iter().enumerate() {
             if let Some(err) = &p.error {
                 report.findings.push(Finding {
                     rule: "P001".into(),
-                    path: rel.clone(),
+                    path: s.rel.clone(),
                     line: p.line,
                     message: format!("malformed pragma: {err}"),
                     suppressed: None,
+                    chain: vec![],
                 });
             } else if !pragma_used[pi] {
                 report.findings.push(Finding {
                     rule: "P002".into(),
-                    path: rel.clone(),
+                    path: s.rel.clone(),
                     line: p.line,
                     message: format!(
                         "unused pragma `lint:allow({})` — the finding it excused is gone; \
@@ -135,10 +291,11 @@ pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
                         p.rules.join(", ")
                     ),
                     suppressed: None,
+                    chain: vec![],
                 });
             }
         }
-        report.findings.append(&mut analysis.findings);
+        report.findings.append(&mut s.findings);
     }
     for (ai, used) in config_used.iter().enumerate() {
         if !used {
@@ -153,13 +310,51 @@ pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
                     a.path, a.rule
                 ),
                 suppressed: None,
+                chain: vec![],
             });
         }
     }
     report
         .findings
         .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
-    Ok(report)
+    Scan {
+        report,
+        callgraph_json,
+    }
+}
+
+/// Runs the full scan over a workspace root. `lint.toml` at the root is
+/// the (optional) allowlist + roots declaration.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Scan> {
+    let (config, config_errors) = match fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => config::parse(&text),
+        Err(_) => (Config::default(), Vec::new()),
+    };
+    let mut files = Vec::new();
+    for rel in rust_files(root)? {
+        let source = fs::read_to_string(root.join(&rel))?;
+        files.push((rel, source));
+    }
+    let mut scan = scan_sources(&root.display().to_string(), &files, &config);
+    for err in config_errors {
+        scan.report.findings.push(Finding {
+            rule: "P004".into(),
+            path: "lint.toml".into(),
+            line: 0,
+            message: err,
+            suppressed: None,
+            chain: vec![],
+        });
+    }
+    scan.report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    Ok(scan)
+}
+
+/// [`scan_workspace`], findings report only.
+pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
+    scan_workspace(root).map(|s| s.report)
 }
 
 #[cfg(test)]
@@ -217,5 +412,79 @@ mod tests {
         let (a, pragma_used, _) = analyze_and_resolve("crates/x/src/a.rs", src, "");
         assert!(a.findings[0].suppressed.is_none());
         assert_eq!(pragma_used, vec![false]);
+    }
+
+    fn scan_one(rel: &str, src: &str, toml: &str) -> Scan {
+        let (config, errs) = config::parse(toml);
+        assert!(errs.is_empty(), "{errs:?}");
+        scan_sources("/w", &[(rel.to_string(), src.to_string())], &config)
+    }
+
+    #[test]
+    fn worker_reachable_unwrap_is_a_c002_with_chain() {
+        let src = "fn root_fn(v: &[u32]) { helper(v); }\nfn helper(v: &[u32]) { let _ = v.first().unwrap(); }\nfn bystander(v: &[u32]) { let _ = v.first().unwrap(); }\n";
+        let toml = "[roots]\nfn = \"root_fn\"\n";
+        let scan = scan_one("crates/x/src/a.rs", src, toml);
+        let c002: Vec<&Finding> = scan
+            .report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "C002")
+            .collect();
+        assert_eq!(c002.len(), 1, "{:?}", scan.report.findings);
+        assert_eq!(c002[0].line, 2);
+        assert_eq!(c002[0].chain, vec!["root_fn", "helper"]);
+        assert!(scan.callgraph_json.contains("\"root_fn\""));
+    }
+
+    #[test]
+    fn c002_pragma_suppression_and_p002_audit() {
+        let src = "fn root_fn(v: &[u32]) {\n  // lint:allow(C002): bounds checked by caller\n  let _ = v[0];\n}\n";
+        let toml = "[roots]\nfn = \"root_fn\"\n";
+        let scan = scan_one("crates/x/src/a.rs", src, toml);
+        assert!(scan.report.is_clean(), "{:?}", scan.report.findings);
+        let f = &scan.report.findings[0];
+        assert_eq!(f.rule, "C002");
+        assert!(matches!(f.suppressed, Some(Suppression::Pragma { .. })));
+    }
+
+    #[test]
+    fn unmatched_root_is_p005() {
+        let scan = scan_one(
+            "crates/x/src/a.rs",
+            "fn f() {}\n",
+            "[roots]\nfn = \"NoSuch::fn_name\"\n",
+        );
+        let p005: Vec<&Finding> = scan
+            .report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "P005")
+            .collect();
+        assert_eq!(p005.len(), 1);
+        assert!(p005[0].message.contains("NoSuch::fn_name"));
+    }
+
+    #[test]
+    fn d_rules_inside_workers_escalate_to_c001() {
+        let src = "fn root_fn() { let t = std::time::Instant::now(); }\n";
+        let toml = "[roots]\nfn = \"root_fn\"\n";
+        let scan = scan_one("crates/x/src/a.rs", src, toml);
+        let rules: Vec<&str> = scan
+            .report
+            .findings
+            .iter()
+            .map(|f| f.rule.as_str())
+            .collect();
+        assert!(rules.contains(&"D002"), "{rules:?}");
+        assert!(rules.contains(&"C001"), "{rules:?}");
+    }
+
+    #[test]
+    fn no_roots_means_no_c_findings() {
+        let src = "fn f(v: &[u32]) { let _ = v[0]; }\n";
+        let scan = scan_one("crates/x/src/a.rs", src, "");
+        assert!(scan.report.is_clean(), "{:?}", scan.report.findings);
+        assert!(scan.callgraph_json.contains("\"reachable\""));
     }
 }

@@ -6,19 +6,22 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use mrvd_lint::run_workspace;
+use mrvd_lint::scan_workspace;
 
 const USAGE: &str = "\
 mrvd-lint — determinism static analysis over the MRVD workspace
 
 USAGE:
     mrvd-lint [--root <dir>] [--format human|json] [--output <file>]
+              [--callgraph <file>]
 
 OPTIONS:
-    --root <dir>      Workspace root (default: ascend from cwd to the
-                      directory whose Cargo.toml declares [workspace])
-    --format <fmt>    `human` (default) or `json`
-    --output <file>   Also write the report (in the chosen format) there
+    --root <dir>       Workspace root (default: ascend from cwd to the
+                       directory whose Cargo.toml declares [workspace])
+    --format <fmt>     `human` (default) or `json`
+    --output <file>    Also write the report (in the chosen format) there
+    --callgraph <file> Write the call graph + worker-reachable set
+                       (LINT_callgraph.json schema) there
 
 EXIT CODE: 0 when lint-clean, 1 on unsuppressed findings, 2 on usage/IO
 errors.";
@@ -42,6 +45,7 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = String::from("human");
     let mut output: Option<PathBuf> = None;
+    let mut callgraph: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -58,6 +62,10 @@ fn main() -> ExitCode {
                 Some(v) => output = Some(PathBuf::from(v)),
                 None => return usage_error("--output needs a value"),
             },
+            "--callgraph" => match args.next() {
+                Some(v) => callgraph = Some(PathBuf::from(v)),
+                None => return usage_error("--callgraph needs a value"),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -69,27 +77,26 @@ fn main() -> ExitCode {
         eprintln!("mrvd-lint: no workspace root found (pass --root)");
         return ExitCode::from(2);
     };
-    let report = match run_workspace(&root) {
-        Ok(r) => r,
+    let scan = match scan_workspace(&root) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("mrvd-lint: scan failed: {e}");
             return ExitCode::from(2);
         }
     };
+    let report = scan.report;
     let rendered = match format.as_str() {
         "json" => report.render_json(),
         _ => report.render_human(),
     };
     print!("{rendered}");
     if let Some(path) = output {
-        if let Some(parent) = path.parent().filter(|p| *p != Path::new("")) {
-            if let Err(e) = std::fs::create_dir_all(parent) {
-                eprintln!("mrvd-lint: cannot create {}: {e}", parent.display());
-                return ExitCode::from(2);
-            }
+        if write_file(&path, &rendered).is_err() {
+            return ExitCode::from(2);
         }
-        if let Err(e) = std::fs::write(&path, &rendered) {
-            eprintln!("mrvd-lint: cannot write {}: {e}", path.display());
+    }
+    if let Some(path) = callgraph {
+        if write_file(&path, &scan.callgraph_json).is_err() {
             return ExitCode::from(2);
         }
     }
@@ -103,4 +110,18 @@ fn main() -> ExitCode {
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("mrvd-lint: {msg}\n\n{USAGE}");
     ExitCode::from(2)
+}
+
+fn write_file(path: &Path, content: &str) -> Result<(), ()> {
+    if let Some(parent) = path.parent().filter(|p| *p != Path::new("")) {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("mrvd-lint: cannot create {}: {e}", parent.display());
+            return Err(());
+        }
+    }
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!("mrvd-lint: cannot write {}: {e}", path.display());
+        return Err(());
+    }
+    Ok(())
 }

@@ -8,6 +8,12 @@ use std::collections::BTreeMap;
 
 use crate::rules::rule_summary;
 
+/// Schema version stamped into every JSON rendering. Bump when the
+/// report shape changes so downstream consumers fail loudly instead of
+/// mis-reading fields. Version history: 1 = flat D/P findings; 2 = adds
+/// `schema_version` itself, call-graph C rules and per-finding `chain`.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// How a finding was suppressed, if it was.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Suppression {
@@ -41,6 +47,10 @@ pub struct Finding {
     pub message: String,
     /// `Some` when suppressed, with the audit trail.
     pub suppressed: Option<Suppression>,
+    /// For worker-reachability (C-rule) findings: the call chain from a
+    /// declared parallel root to the fn containing the finding, as
+    /// qualified fn names. Empty for flat rules.
+    pub chain: Vec<String>,
 }
 
 /// The aggregate result of one workspace scan.
@@ -95,6 +105,9 @@ impl Report {
                     f.path, f.line, f.rule, f.message
                 ));
             }
+            if !f.chain.is_empty() {
+                out.push_str(&format!("    via {}\n", f.chain.join(" -> ")));
+            }
         }
         out.push_str(&format!(
             "\n{} files scanned, {} finding(s), {} suppressed, {} gating\n",
@@ -118,6 +131,7 @@ impl Report {
     /// JSON rendering (stable key order, findings in report order).
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
         out.push_str(&format!("  \"root\": {},\n", json_str(&self.root)));
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!("  \"gating\": {},\n", self.unsuppressed_count()));
@@ -149,6 +163,10 @@ impl Report {
             out.push_str(&format!("\"path\": {}, ", json_str(&f.path)));
             out.push_str(&format!("\"line\": {}, ", f.line));
             out.push_str(&format!("\"message\": {}, ", json_str(&f.message)));
+            if !f.chain.is_empty() {
+                let links: Vec<String> = f.chain.iter().map(|c| json_str(c)).collect();
+                out.push_str(&format!("\"chain\": [{}], ", links.join(", ")));
+            }
             match &f.suppressed {
                 None => out.push_str("\"suppressed\": null}"),
                 Some(Suppression::Pragma { reason }) => out.push_str(&format!(
@@ -173,7 +191,7 @@ impl Report {
 }
 
 /// Minimal JSON string escaping.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -208,6 +226,7 @@ mod tests {
                     suppressed: Some(Suppression::Pragma {
                         reason: "telemetry".into(),
                     }),
+                    chain: vec![],
                 },
                 Finding {
                     rule: "D001".into(),
@@ -215,6 +234,15 @@ mod tests {
                     line: 3,
                     message: "hash \"iteration\"".into(),
                     suppressed: None,
+                    chain: vec![],
+                },
+                Finding {
+                    rule: "C002".into(),
+                    path: "crates/sim/src/parallel.rs".into(),
+                    line: 120,
+                    message: "panic-capable `.unwrap()`".into(),
+                    suppressed: None,
+                    chain: vec!["ShardSlots::drain_worker".into(), "relock".into()],
                 },
             ],
         }
@@ -223,22 +251,31 @@ mod tests {
     #[test]
     fn counts_and_cleanliness() {
         let r = sample();
-        assert_eq!(r.unsuppressed_count(), 1);
+        assert_eq!(r.unsuppressed_count(), 2);
         assert!(!r.is_clean());
         assert_eq!(r.per_rule()["D002"], (1, 1));
         assert_eq!(r.per_rule()["D001"], (1, 0));
+        assert_eq!(r.per_rule()["C002"], (1, 0));
     }
 
     #[test]
     fn json_is_well_formed_and_escaped() {
         let j = sample().render_json();
-        assert!(j.contains("\"gating\": 1"));
+        assert!(j.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
+        assert!(j.contains("\"gating\": 2"));
         assert!(j.contains("hash \\\"iteration\\\""));
         assert!(j.contains("\"by\": \"pragma\""));
+        assert!(j.contains("\"chain\": [\"ShardSlots::drain_worker\", \"relock\"]"));
         assert!(j.contains("\"clean\": false"));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn human_rendering_shows_chains() {
+        let h = sample().render_human();
+        assert!(h.contains("via ShardSlots::drain_worker -> relock"));
     }
 
     #[test]

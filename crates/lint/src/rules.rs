@@ -9,8 +9,12 @@
 
 use crate::lexer::{Lexed, Token, TokenKind};
 
-/// All rule identifiers, in catalog order.
-pub const RULES: [&str; 7] = ["D001", "D002", "D003", "D004", "D005", "D006", "D007"];
+/// All rule identifiers, in catalog order. `D` rules are flat token
+/// checks; `C` rules ([`crate::crules`]) run over the worker-reachable
+/// set of the workspace call graph.
+pub const RULES: [&str; 12] = [
+    "D001", "D002", "D003", "D004", "D005", "D006", "D007", "C001", "C002", "C003", "C004", "C005",
+];
 
 /// One-line summary of a rule, for reports.
 pub fn rule_summary(rule: &str) -> &'static str {
@@ -22,6 +26,11 @@ pub fn rule_summary(rule: &str) -> &'static str {
         "D005" => "narrowing `as u32`/`as usize` cast in spatial region arithmetic",
         "D006" => "`unsafe` without a `// SAFETY:` comment",
         "D007" => "{:?}-formatting a hash collection into output",
+        "C001" => "determinism violation (D001/D002/D003/D007) in worker-reachable code",
+        "C002" => "panic-capable operation in worker-reachable code",
+        "C003" => "non-Sync interior mutability or mutable static in worker-reachable code",
+        "C004" => "atomic operation without an explicit Ordering in worker-reachable code",
+        "C005" => "thread spawn outside the sanctioned BroadcastPool",
         _ => "meta finding",
     }
 }
@@ -29,6 +38,13 @@ pub fn rule_summary(rule: &str) -> &'static str {
 /// Whether `rule` is a known determinism rule id.
 pub fn is_known_rule(rule: &str) -> bool {
     RULES.contains(&rule)
+}
+
+/// Whether `rule` is a call-graph (worker-reachability) rule. These may
+/// only be suppressed by an inline pragma at the site — a `lint.toml`
+/// path prefix is too blunt for code that runs inside workers.
+pub fn is_reach_rule(rule: &str) -> bool {
+    rule.starts_with('C')
 }
 
 /// A rule hit before suppression is applied.
@@ -326,15 +342,38 @@ fn check_d003(ctx: &FileCtx<'_>, out: &mut Vec<RawFinding>) {
     }
 }
 
-/// D004 — float comparator sorts without an id tie-break.
+/// D004 — float comparator sorts without an id tie-break. Covers both
+/// the comparator family (`sort_by` & friends: float evidence is a
+/// `partial_cmp`/`total_cmp` call without `.then(…)`) and the key family
+/// (`sort_by_key` & friends: float evidence is a float-typed key —
+/// `f32`/`f64` casts, `to_bits`, `OrderedFloat` — without a tuple key
+/// `(float_key, id)` to break ties).
 fn check_d004(ctx: &FileCtx<'_>, out: &mut Vec<RawFinding>) {
     if ctx.is_test_path {
         return;
     }
     let toks = &ctx.lexed.tokens;
     const SORTS: [&str; 4] = ["sort_by", "sort_unstable_by", "min_by", "max_by"];
+    const KEY_SORTS: [&str; 4] = [
+        "sort_by_key",
+        "sort_unstable_by_key",
+        "min_by_key",
+        "max_by_key",
+    ];
+    const FLOAT_KEY_EVIDENCE: [&str; 6] = [
+        "f32",
+        "f64",
+        "to_bits",
+        "total_cmp",
+        "partial_cmp",
+        "OrderedFloat",
+    ];
     for i in 0..toks.len() {
-        if toks[i].kind != TokenKind::Ident || !SORTS.contains(&toks[i].text.as_str()) {
+        if toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let by_key = KEY_SORTS.contains(&toks[i].text.as_str());
+        if !by_key && !SORTS.contains(&toks[i].text.as_str()) {
             continue;
         }
         if ctx.in_test(toks[i].line) {
@@ -351,32 +390,78 @@ fn check_d004(ctx: &FileCtx<'_>, out: &mut Vec<RawFinding>) {
         let mut j = i + 2;
         let mut float_cmp = false;
         let mut tie_break = false;
+        let arg_start = j;
         while j < toks.len() && depth > 0 {
             if toks[j].is_punct("(") {
                 depth += 1;
             } else if toks[j].is_punct(")") {
                 depth -= 1;
             } else if toks[j].kind == TokenKind::Ident {
-                match toks[j].text.as_str() {
-                    "partial_cmp" | "total_cmp" => float_cmp = true,
-                    "then" | "then_with" => tie_break = true,
-                    _ => {}
+                let evidence = if by_key {
+                    FLOAT_KEY_EVIDENCE.contains(&toks[j].text.as_str())
+                } else {
+                    toks[j].text == "partial_cmp" || toks[j].text == "total_cmp"
+                };
+                if evidence {
+                    float_cmp = true;
+                } else if toks[j].text == "then" || toks[j].text == "then_with" {
+                    tie_break = true;
                 }
             }
             j += 1;
         }
+        if by_key && tuple_key_tie_break(toks, arg_start, j) {
+            tie_break = true;
+        }
         if float_cmp && !tie_break {
+            let fix = if by_key {
+                "a tuple key `(float_key, id)`"
+            } else {
+                "a `.then(…)` id tie-break"
+            };
             out.push(RawFinding {
                 rule: "D004",
                 line: toks[i].line,
                 message: format!(
-                    "`{}` compares floats without a `.then(…)` id tie-break; equal keys \
-                     will order by input permutation",
+                    "`{}` keys on floats without {fix}; equal keys will order by input \
+                     permutation",
                     toks[i].text
                 ),
             });
         }
     }
+}
+
+/// Whether a `*_by_key` argument list in `toks[start..end]` is a closure
+/// returning a tuple — the `(key, id)` tie-break idiom. Looks for the
+/// closure's closing `|` followed by `(` with a comma at that paren's
+/// top level.
+fn tuple_key_tie_break(toks: &[Token], start: usize, end: usize) -> bool {
+    let end = end.min(toks.len());
+    let mut bars = 0usize;
+    let mut i = start;
+    while i < end && bars < 2 {
+        if toks[i].is_punct("|") {
+            bars += 1;
+        }
+        i += 1;
+    }
+    if bars < 2 || i >= end || !toks[i].is_punct("(") {
+        return false;
+    }
+    let mut depth = 1i32;
+    let mut j = i + 1;
+    while j < end && depth > 0 {
+        if toks[j].is_punct("(") || toks[j].is_punct("[") {
+            depth += 1;
+        } else if toks[j].is_punct(")") || toks[j].is_punct("]") {
+            depth -= 1;
+        } else if toks[j].is_punct(",") && depth == 1 {
+            return true;
+        }
+        j += 1;
+    }
+    false
 }
 
 /// D005 — `as u32` / `as usize` in the spatial crate's region arithmetic.
@@ -599,6 +684,34 @@ mod tests {
         assert!(run("crates/x/src/a.rs", good).is_empty());
         let keyed = "fn f(v: &mut Vec<u32>) { v.sort_by(|a, b| a.cmp(b)); }\n";
         assert!(run("crates/x/src/a.rs", keyed).is_empty());
+    }
+
+    #[test]
+    fn d004_covers_by_key_float_keys() {
+        // Float key without a tie-break: fires for every by_key variant.
+        for m in [
+            "sort_by_key",
+            "sort_unstable_by_key",
+            "min_by_key",
+            "max_by_key",
+        ] {
+            let bad = format!("fn f(v: &mut Vec<Trip>) {{ v.{m}(|t| t.cost().to_bits()); }}\n");
+            let hits = run("crates/x/src/a.rs", &bad);
+            assert_eq!(hits.len(), 1, "{m}: {hits:?}");
+            assert_eq!(hits[0].rule, "D004");
+        }
+        // `as f64` cast evidence also counts.
+        let cast = "fn f(v: &mut Vec<Trip>) { v.sort_by_key(|t| (t.len as f64).to_bits()); }\n";
+        assert_eq!(run("crates/x/src/a.rs", cast).len(), 1);
+        // Tuple key `(float, id)` is the sanctioned tie-break idiom.
+        let tuple = "fn f(v: &mut Vec<Trip>) { v.sort_by_key(|t| (t.cost().to_bits(), t.id)); }\n";
+        assert!(run("crates/x/src/a.rs", tuple).is_empty());
+        // Integer keys are not D004's business.
+        let int = "fn f(v: &mut Vec<Trip>) { v.sort_by_key(|t| t.id); }\n";
+        assert!(run("crates/x/src/a.rs", int).is_empty());
+        // A comma nested inside a call is not a tuple key.
+        let nested = "fn f(v: &mut Vec<Trip>) { v.sort_by_key(|t| (t.cost(a, b)).to_bits()); }\n";
+        assert_eq!(run("crates/x/src/a.rs", nested).len(), 1);
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Each C rule must fire on its violation fixture — on the violating
+//! lines only, with call chains back to the declared root — and honor
+//! site-level pragma waivers. The fixtures live in
+//! `crates/lint/fixtures/` (skipped by the workspace walk) and are
+//! scanned here under production-looking relative paths with a
+//! single-root `[roots]` config.
+
+use mrvd_lint::{Finding, Report};
+
+const ROOTS: &str = "[roots]\nfn = \"drain_worker_root\"\n";
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Scan one fixture as the whole "workspace" with the standard root.
+fn scan_fixture(name: &str, rel: &str, toml: &str) -> Report {
+    let (config, errs) = mrvd_lint::config::parse(toml);
+    assert!(errs.is_empty(), "{errs:?}");
+    mrvd_lint::scan_sources("/fixture", &[(rel.to_string(), fixture(name))], &config).report
+}
+
+fn gating_lines(report: &Report, rule: &str) -> Vec<u32> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule && f.suppressed.is_none())
+        .map(|f| f.line)
+        .collect()
+}
+
+fn suppressed_lines(report: &Report, rule: &str) -> Vec<u32> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule && f.suppressed.is_some())
+        .map(|f| f.line)
+        .collect()
+}
+
+fn chains_of<'r>(report: &'r Report, rule: &str) -> Vec<&'r Finding> {
+    report.findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn c001_escalates_d_rules_only_in_the_closure() {
+    let r = scan_fixture(
+        "c001_worker_reachable_d.rs",
+        "crates/core/src/fixture.rs",
+        ROOTS,
+    );
+    // helper (reachable via the root) escalates; bystander does not.
+    assert_eq!(gating_lines(&r, "C001"), vec![9], "{:#?}", r.findings);
+    assert_eq!(suppressed_lines(&r, "C001"), vec![20]);
+    // The flat D002 findings remain, independent of the escalation.
+    assert_eq!(gating_lines(&r, "D002"), vec![9, 14]);
+    for f in chains_of(&r, "C001") {
+        assert_eq!(
+            f.chain.first().map(String::as_str),
+            Some("drain_worker_root")
+        );
+    }
+    // No unused pragmas, no stale roots.
+    assert!(r
+        .findings
+        .iter()
+        .all(|f| f.rule != "P002" && f.rule != "P005"));
+}
+
+#[test]
+fn c001_errors_even_where_a_config_path_exemption_covers_the_d_rule() {
+    // The lint.toml allow covers the D002 — but not the C001 escalation.
+    let toml = format!(
+        "{ROOTS}\n[[allow]]\npath = \"crates/core\"\nrule = \"D002\"\nreason = \"fixture: path-level timing exemption\"\n"
+    );
+    let r = scan_fixture(
+        "c001_worker_reachable_d.rs",
+        "crates/core/src/fixture.rs",
+        &toml,
+    );
+    assert_eq!(gating_lines(&r, "D002"), Vec::<u32>::new());
+    assert_eq!(gating_lines(&r, "C001"), vec![9], "{:#?}", r.findings);
+}
+
+#[test]
+fn c002_flags_panic_capable_sites_with_chains() {
+    let r = scan_fixture("c002_worker_panics.rs", "crates/core/src/fixture.rs", ROOTS);
+    // unwrap, v[w], as u8, panic! — the pragma-waived v[0] and the
+    // unreachable bystander stay out.
+    assert_eq!(
+        gating_lines(&r, "C002"),
+        vec![9, 10, 11, 13],
+        "{:#?}",
+        r.findings
+    );
+    assert_eq!(suppressed_lines(&r, "C002"), vec![16]);
+    for f in chains_of(&r, "C002") {
+        assert_eq!(
+            f.chain,
+            vec!["drain_worker_root".to_string(), "step".to_string()],
+            "every C002 here sits inside step()"
+        );
+    }
+}
+
+#[test]
+fn c003_flags_interior_mutability_and_module_state() {
+    let r = scan_fixture("c003_shared_state.rs", "crates/core/src/fixture.rs", ROOTS);
+    // static mut (6), thread_local! (8), tally's RefCell (17); the
+    // unreachable bystander's RefCell (23) is clean and waived (29) is
+    // suppressed.
+    assert_eq!(
+        gating_lines(&r, "C003"),
+        vec![6, 8, 17],
+        "{:#?}",
+        r.findings
+    );
+    assert_eq!(suppressed_lines(&r, "C003"), vec![29]);
+    // Module-level findings carry no chain; fn-level ones do.
+    for f in chains_of(&r, "C003") {
+        if f.line == 17 {
+            assert_eq!(
+                f.chain,
+                vec!["drain_worker_root".to_string(), "tally".to_string()]
+            );
+        }
+    }
+}
+
+#[test]
+fn c004_requires_explicit_ordering_with_atomic_evidence() {
+    let r = scan_fixture("c004_atomics.rs", "crates/core/src/fixture.rs", ROOTS);
+    // bump's fetch_add(1, ord) and observe's load(relaxed()) fire; the
+    // documented load/store are clean, the waived load is suppressed,
+    // and `q.load(…)` has no atomic receiver evidence.
+    assert_eq!(gating_lines(&r, "C004"), vec![13, 17], "{:#?}", r.findings);
+    assert_eq!(suppressed_lines(&r, "C004"), vec![26]);
+}
+
+#[test]
+fn c005_flags_spawns_and_honors_spawn_path() {
+    let r = scan_fixture("c005_thread_spawn.rs", "crates/core/src/fixture.rs", ROOTS);
+    assert_eq!(gating_lines(&r, "C005"), vec![8, 12], "{:#?}", r.findings);
+    assert_eq!(suppressed_lines(&r, "C005"), vec![17]);
+
+    // Under a sanctioned spawn_path prefix the same file is clean — the
+    // pragma then counts as unused (P002), proving waivers cannot rot.
+    let toml = format!("{ROOTS}spawn_path = \"crates/core/src/\"\n");
+    let r = scan_fixture("c005_thread_spawn.rs", "crates/core/src/fixture.rs", &toml);
+    assert!(
+        r.findings.iter().all(|f| f.rule != "C005"),
+        "{:#?}",
+        r.findings
+    );
+    assert_eq!(gating_lines(&r, "P002").len(), 1);
+}
+
+#[test]
+fn c_rules_are_silent_without_roots() {
+    for name in [
+        "c001_worker_reachable_d.rs",
+        "c002_worker_panics.rs",
+        "c003_shared_state.rs",
+        "c004_atomics.rs",
+        "c005_thread_spawn.rs",
+    ] {
+        let r = scan_fixture(name, "crates/core/src/fixture.rs", "");
+        let c: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule.starts_with('C'))
+            .collect();
+        assert!(c.is_empty(), "{name}: {c:?}");
+    }
+}
+
+#[test]
+fn c_findings_render_chains_in_both_formats() {
+    let r = scan_fixture("c002_worker_panics.rs", "crates/core/src/fixture.rs", ROOTS);
+    let human = r.render_human();
+    assert!(
+        human.contains("via drain_worker_root -> step"),
+        "human rendering must show the call chain:\n{human}"
+    );
+    let json = r.render_json();
+    assert!(json.contains("\"chain\": [\"drain_worker_root\", \"step\"]"));
+    assert!(json.contains(&format!(
+        "\"schema_version\": {}",
+        mrvd_lint::SCHEMA_VERSION
+    )));
+}

@@ -1,0 +1,87 @@
+//! Property tests for the reachability engine: the closure must be
+//! monotone under edge addition (a sound over-approximation can only
+//! grow when the graph grows), and every reported chain must be a real
+//! root-to-site path through the graph.
+
+use mrvd_lint::reach::closure;
+use proptest::prelude::*;
+
+const N: usize = 24;
+
+fn adjacency(edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); N];
+    for &(u, v) in edges {
+        adj[u].push(v);
+    }
+    adj
+}
+
+fn arb_edges() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..N, 0..N), 0..64)
+}
+
+fn arb_roots() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..N, 1..4)
+}
+
+proptest! {
+    /// Adding any edge never shrinks the reachable set.
+    #[test]
+    fn reachability_is_monotone_under_edge_addition(
+        edges in arb_edges(),
+        roots in arb_roots(),
+        extra in (0..N, 0..N),
+    ) {
+        let before = closure(N, &adjacency(&edges), &roots);
+        let mut grown = edges.clone();
+        grown.push(extra);
+        let after = closure(N, &adjacency(&grown), &roots);
+        for v in 0..N {
+            prop_assert!(
+                !before.reachable[v] || after.reachable[v],
+                "node {} was reachable but adding edge {:?} lost it", v, extra
+            );
+        }
+    }
+
+    /// Every chain starts at a root, ends at the queried node, and each
+    /// hop is an actual edge of the graph.
+    #[test]
+    fn chains_are_real_paths_from_roots(
+        edges in arb_edges(),
+        roots in arb_roots(),
+    ) {
+        let reach = closure(N, &adjacency(&edges), &roots);
+        for v in 0..N {
+            let chain = reach.chain_to(v);
+            if !reach.is_reachable(v) {
+                prop_assert!(chain.is_empty(), "unreachable {} got chain {:?}", v, chain);
+                continue;
+            }
+            prop_assert_eq!(*chain.last().unwrap(), v);
+            prop_assert!(roots.contains(&chain[0]), "chain {:?} starts off-root", chain);
+            for hop in chain.windows(2) {
+                prop_assert!(
+                    edges.contains(&(hop[0], hop[1])),
+                    "chain hop {:?} is not an edge", hop
+                );
+            }
+        }
+    }
+
+    /// Roots sit at depth 0 and every discovered node one past its
+    /// parent — i.e. chains really are shortest paths.
+    #[test]
+    fn depths_are_consistent(edges in arb_edges(), roots in arb_roots()) {
+        let reach = closure(N, &adjacency(&edges), &roots);
+        for &r in &roots {
+            prop_assert!(reach.reachable[r]);
+            prop_assert_eq!(reach.depth[r], 0);
+        }
+        for v in 0..N {
+            if let Some(p) = reach.parent[v] {
+                prop_assert_eq!(reach.depth[v], reach.depth[p] + 1);
+            }
+        }
+    }
+}

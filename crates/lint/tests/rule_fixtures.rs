@@ -62,8 +62,16 @@ fn d003_fires_everywhere_including_tests() {
 #[test]
 fn d004_fires_on_untied_float_sorts_only() {
     let a = analyze_fixture("d004_float_sort.rs", "crates/core/src/fixture.rs");
-    // bad_sort and bad_min fire; good_sort/good_max have tie-breaks.
-    assert_eq!(gating_lines(&a, "D004"), vec![4, 8]);
+    // bad_sort and bad_min fire (comparator family); bad_key_sort and
+    // bad_key_min fire (by_key family, float-key evidence). good_sort /
+    // good_max have `.then` tie-breaks, good_key_sort keys on a
+    // `(float, id)` tuple, good_key_int keys on an integer.
+    assert_eq!(
+        gating_lines(&a, "D004"),
+        vec![4, 8, 21, 25],
+        "findings: {:#?}",
+        a.findings
+    );
 }
 
 #[test]

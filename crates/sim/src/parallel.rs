@@ -98,16 +98,25 @@ impl ShardSlots {
     /// partition the shards, so each shard is drained exactly once.
     pub fn drain_worker(&self, w: usize, cutoff: EventKey) {
         let (n, wk) = (self.shards.len(), self.outs.len());
+        // lint:allow(C002): w < workers by construction — BroadcastPool runs one job per worker id 0..workers == outs.len()
         let mut out = relock(self.outs[w].lock());
         debug_assert!(out.keys.is_empty() && out.touched.is_empty());
-        for s in w * n / wk..(w + 1) * n / wk {
+        let (lo, hi) = (w * n / wk, (w + 1) * n / wk);
+        let block = self
+            .shards
+            .iter()
+            .zip(&self.head_time)
+            .enumerate()
+            .skip(lo)
+            .take(hi - lo);
+        for (s, (shard, head)) in block {
             // `head_time` is exact, so a strictly-later head has
             // nothing due; an equal-time head still gets checked
             // against the full key under the lock.
-            if self.head_time[s].load(Ordering::Relaxed) > cutoff.0 {
+            if head.load(Ordering::Relaxed) > cutoff.0 {
                 continue;
             }
-            let mut heap = relock(self.shards[s].lock());
+            let mut heap = relock(shard.lock());
             let before = out.keys.len();
             while let Some(&Reverse(key)) = heap.peek() {
                 if key >= cutoff {
@@ -117,10 +126,11 @@ impl ShardSlots {
                 out.keys.push(key);
             }
             if out.keys.len() > before {
-                self.head_time[s].store(
+                head.store(
                     heap.peek().map_or(u64::MAX, |&Reverse(k)| k.0),
                     Ordering::Relaxed,
                 );
+                // lint:allow(C002): s < shards.len() <= u32::MAX, asserted in ShardSlots::new
                 out.touched.push(s as u32);
             }
         }
@@ -179,6 +189,7 @@ impl<'p> ParallelQueue<'p> {
     /// entries on the way.
     pub fn peek(&mut self) -> Option<EventKey> {
         while let Some(&Reverse((t, pri, id, s))) = self.head.peek() {
+            // lint:allow(C002): tournament entries are only ever built from in-range shard indices (push/pop/drain_due)
             let heap = relock(self.slots.shards[s as usize].lock());
             if heap.peek() == Some(&Reverse((t, pri, id))) {
                 return Some((t, pri, id));
@@ -235,6 +246,7 @@ impl<'p> ParallelQueue<'p> {
                 // Restore the drained shard's tournament entry; the
                 // pre-drain entry (now stale) is lazily discarded by a
                 // later peek, like any superseded duplicate.
+                // lint:allow(C002): `touched` holds indices of this queue's own shards, recorded by drain_worker
                 let heap = relock(self.slots.shards[s as usize].lock());
                 if let Some(&Reverse((t, pri, id))) = heap.peek() {
                     self.head.push(Reverse((t, pri, id, s)));

@@ -133,6 +133,7 @@ impl<J: Copy + Send + 'static> BroadcastPool<J> {
                             s = relock(shared.work.wait(s));
                         }
                         seen = s.round;
+                        // lint:allow(C002): run() sets `job` before bumping `round` under the same lock; a round without a job is unreachable
                         s.job.expect("BroadcastPool: round without a job")
                     };
                     // The guard marks this worker done even if `f`
@@ -163,6 +164,7 @@ impl<J: Copy + Send + 'static> BroadcastPool<J> {
         let mut s = relock(self.shared.state.lock());
         if s.remaining != 0 {
             drop(s);
+            // lint:allow(C002): deliberate fail-fast on API misuse (overlapping rounds); documented under # Panics
             panic!(
                 "BroadcastPool: a round is already in flight \
                  (rounds are strictly sequential and the worker count is fixed at construction)"
@@ -170,6 +172,7 @@ impl<J: Copy + Send + 'static> BroadcastPool<J> {
         }
         if s.panicked {
             drop(s);
+            // lint:allow(C002): deliberate panic propagation — a worker died; silently continuing would corrupt results
             panic!("BroadcastPool: a worker panicked in an earlier round");
         }
         s.round += 1;
@@ -182,6 +185,7 @@ impl<J: Copy + Send + 'static> BroadcastPool<J> {
         let panicked = s.panicked;
         drop(s);
         if panicked {
+            // lint:allow(C002): deliberate panic propagation — a worker died this round; documented under # Panics
             panic!("BroadcastPool: a worker panicked");
         }
     }
